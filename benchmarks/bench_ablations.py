@@ -1,0 +1,94 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* enhanced edges (efficient construction) vs per-pair SSAD (naive);
+* greedy vs random point selection;
+* Steiner density of the metric graph vs achieved accuracy.
+"""
+
+import time
+
+import pytest
+
+from repro.core import SEOracle
+from repro.experiments import load_dataset
+from repro.geodesic import GeodesicEngine
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    dataset = load_dataset("sf-small", scale)
+    engine = GeodesicEngine(dataset.mesh, dataset.pois, points_per_edge=1)
+    return dataset, engine
+
+
+def test_ablation_construction_method(benchmark, workload, write_result):
+    """Efficient (enhanced edges) vs naive construction at eps=0.1."""
+    dataset, engine = workload
+
+    def run():
+        timings = {}
+        for method in ("efficient", "naive"):
+            started = time.perf_counter()
+            oracle = SEOracle(engine, 0.1, method=method, seed=2).build()
+            timings[method] = (time.perf_counter() - started,
+                               oracle.num_pairs)
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    efficient_seconds, efficient_pairs = timings["efficient"]
+    naive_seconds, naive_pairs = timings["naive"]
+    write_result("ablation_construction",
+                 "== Ablation: construction method (eps=0.1) ==\n"
+                 f"efficient: {efficient_seconds:.3f}s "
+                 f"({efficient_pairs} pairs)\n"
+                 f"naive:     {naive_seconds:.3f}s ({naive_pairs} pairs)\n")
+    # Same tree seed -> identical pair sets.
+    assert efficient_pairs == naive_pairs
+
+
+def test_ablation_selection_strategy(benchmark, workload, write_result):
+    """Greedy vs random point selection: both valid, similar size."""
+    dataset, engine = workload
+
+    def run():
+        outcome = {}
+        for strategy in ("random", "greedy"):
+            started = time.perf_counter()
+            oracle = SEOracle(engine, 0.1, strategy=strategy,
+                              seed=2).build()
+            outcome[strategy] = (time.perf_counter() - started,
+                                 oracle.size_bytes(), oracle.height)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Ablation: point-selection strategy (eps=0.1) =="]
+    for strategy, (seconds, size, height) in outcome.items():
+        lines.append(f"{strategy:<8} build {seconds:.3f}s  "
+                     f"size {size / 1024:.1f}KB  h={height}")
+    write_result("ablation_strategy", "\n".join(lines) + "\n")
+    random_size = outcome["random"][1]
+    greedy_size = outcome["greedy"][1]
+    assert 0.2 < greedy_size / random_size < 5.0
+
+
+def test_ablation_steiner_density(benchmark, workload, write_result):
+    """Metric-graph density: denser graphs shrink the geodesic error."""
+    dataset, _ = workload
+
+    def run():
+        # Distance between one fixed POI pair under growing density.
+        by_density = {}
+        for density in (0, 1, 3):
+            engine = GeodesicEngine(dataset.mesh, dataset.pois,
+                                    points_per_edge=density)
+            by_density[density] = engine.distance(0, len(dataset.pois) - 1)
+        return by_density
+
+    by_density = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Ablation: Steiner density vs distance estimate =="]
+    for density, distance in by_density.items():
+        lines.append(f"points_per_edge={density}: {distance:.2f} m")
+    write_result("ablation_steiner_density", "\n".join(lines) + "\n")
+    # Graph distances can only shrink (toward the geodesic) as the
+    # graph gets denser.
+    assert by_density[0] >= by_density[1] >= by_density[3] - 1e-9

@@ -1,0 +1,30 @@
+"""Appendix A: largest capacity dimension β of the benchmark terrains.
+
+The paper measures β in [1.3, 1.5]; a 2D-manifold terrain should land
+near that band (sampling noise widens the acceptance envelope).
+"""
+
+from repro.analysis import estimate_capacity_dimension
+from repro.experiments import load_dataset
+from repro.geodesic import GeodesicEngine
+
+
+def test_capacity_dimension_per_dataset(benchmark, scale, write_result):
+    def run():
+        estimates = {}
+        for name in ("bearhead", "eaglepeak", "sf"):
+            dataset = load_dataset(name, scale)
+            engine = GeodesicEngine(dataset.mesh, dataset.pois,
+                                    points_per_edge=0)
+            estimates[name] = estimate_capacity_dimension(
+                engine, num_centers=6, radius_steps=3, seed=1)
+        return estimates
+
+    estimates = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Appendix A: largest capacity dimension =="]
+    for name, estimate in estimates.items():
+        lines.append(f"{name:<10} {estimate.summary()}")
+    write_result("appendixA_capacity_dim", "\n".join(lines) + "\n")
+
+    for name, estimate in estimates.items():
+        assert 0.5 <= estimate.beta <= 2.5, (name, estimate.beta)

@@ -1,0 +1,46 @@
+"""Figure 8: effect of ε on SF-small, P2P — all five methods.
+
+Regenerates the four panels (building time, oracle size, query time,
+error) for ε in {0.05..0.25} and asserts the paper's shape claims:
+SE builds faster and smaller than SP-Oracle, queries orders of
+magnitude faster than SP-Oracle and K-Algo, and observed error is far
+below ε.
+"""
+
+from conftest import by_method
+
+from repro.experiments import figure8, format_series_table
+
+
+def test_figure8_epsilon_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure8(scale, num_queries=50), rounds=1, iterations=1)
+    write_result("fig08_epsilon_sf_p2p",
+                 format_series_table("Figure 8: effect of eps, SF-small, "
+                                     "P2P", "eps", series))
+    for epsilon_key, results in series.items():
+        epsilon = float(epsilon_key)
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        greedy = methods["SE(Greedy)"]
+        sp = methods["SP-Oracle"]
+        kalgo = methods["K-Algo"]
+        naive = methods["SE-Naive"]
+
+        # (a) building time: SE below SP-Oracle.
+        assert se.build_seconds < sp.build_seconds
+        assert greedy.build_seconds < sp.build_seconds
+        # (b) size: SE orders of magnitude below SP-Oracle; naive == SE
+        # structure size (same tree seed, same pair set).
+        assert se.size_bytes * 10 < sp.size_bytes
+        assert abs(naive.size_bytes - se.size_bytes) \
+            <= 0.5 * se.size_bytes + 4096
+        # (c) query time: SE below SP-Oracle and K-Algo; the efficient
+        # query beats the naive O(h^2) scan.
+        assert se.query_seconds_mean < sp.query_seconds_mean
+        assert se.query_seconds_mean < kalgo.query_seconds_mean
+        assert se.query_seconds_mean <= naive.query_seconds_mean * 1.5
+        # (d) error: every SE variant honours eps, far below the bound.
+        for variant in (se, greedy, naive):
+            assert variant.errors.max <= epsilon * (1 + 1e-6)
+        assert se.errors.mean <= epsilon / 2

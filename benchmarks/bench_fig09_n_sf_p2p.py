@@ -1,0 +1,40 @@
+"""Figure 9: effect of n (POI count) on SF, P2P.
+
+SE's size must grow with n while SP-Oracle's stays flat (it is
+POI-independent) and large; SE must outclass both baselines on query
+time at every n.
+"""
+
+from conftest import by_method
+
+from repro.experiments import figure9, format_series_table
+
+
+def test_figure9_n_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure9(scale, num_queries=50), rounds=1, iterations=1)
+    write_result("fig09_n_sf_p2p",
+                 format_series_table("Figure 9: effect of n, SF, P2P",
+                                     "n", series))
+    n_values = sorted(int(k) for k in series)
+    se_sizes = {}
+    for key, results in series.items():
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        sp = methods["SP-Oracle"]
+        kalgo = methods["K-Algo"]
+        se_sizes[int(key)] = se.size_bytes
+
+        assert se.build_seconds < sp.build_seconds
+        assert se.size_bytes < sp.size_bytes
+        assert se.query_seconds_mean < sp.query_seconds_mean
+        assert se.query_seconds_mean * 10 < kalgo.query_seconds_mean
+
+    # SE size grows with n.  At laptop-scale n the WSPD resolves many
+    # pairs at leaf level so growth sits between linear and quadratic
+    # (the paper's n is ~600x larger, deep in the linear regime); the
+    # hard cap is the full-materialization n^2 envelope.
+    assert se_sizes[n_values[-1]] > se_sizes[n_values[0]]
+    growth = se_sizes[n_values[-1]] / se_sizes[n_values[0]]
+    n_growth = n_values[-1] / n_values[0]
+    assert growth <= n_growth ** 2

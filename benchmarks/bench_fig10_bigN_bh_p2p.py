@@ -1,0 +1,34 @@
+"""Figure 10: effect of N (terrain resolution) on BH, P2P.
+
+SE vs K-Algo across a 5-step N ladder (SP-Oracle is absent here in the
+paper too — it exceeded the memory budget).  SE's oracle size must be
+nearly independent of N, K-Algo's query time must grow with N, and
+SE's query time must stay orders of magnitude below K-Algo's.
+"""
+
+from conftest import by_method
+
+from repro.experiments import figure10, format_series_table
+
+
+def test_figure10_N_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure10(scale, num_queries=30), rounds=1, iterations=1)
+    write_result("fig10_bigN_bh_p2p",
+                 format_series_table("Figure 10: effect of N, BH, P2P",
+                                     "N", series))
+    n_values = sorted(int(k) for k in series)
+    se_size, kalgo_query = {}, {}
+    for key, results in series.items():
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        kalgo = methods["K-Algo"]
+        se_size[int(key)] = se.size_bytes
+        kalgo_query[int(key)] = kalgo.query_seconds_mean
+        assert se.query_seconds_mean * 10 < kalgo.query_seconds_mean
+
+    # SE size is ~independent of N (n is fixed): within a 3x band.
+    sizes = [se_size[n] for n in n_values]
+    assert max(sizes) <= 3.0 * min(sizes)
+    # K-Algo query grows with N (largest vs smallest terrain).
+    assert kalgo_query[n_values[-1]] > kalgo_query[n_values[0]]

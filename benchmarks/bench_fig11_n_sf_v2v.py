@@ -1,0 +1,38 @@
+"""Figure 11 + Section 5.2.2: V2V distance queries on SF.
+
+All vertices are POIs (n = N).  Sweep the vertex count and check SE's
+order-of-magnitude wins over SP-Oracle (build, size, query) and K-Algo
+(query); then run the ε sweep variant on the smallest ladder step.
+"""
+
+from conftest import by_method
+
+from repro.experiments import figure11, format_series_table
+
+
+def _targets(scale: str):
+    if scale == "tiny":
+        return [25, 49, 81]
+    if scale == "small":
+        return [60, 120, 180, 240]
+    return [80, 160, 240, 320, 400]
+
+
+def test_figure11_v2v_n_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure11(scale, vertex_targets=_targets(scale),
+                         num_queries=30),
+        rounds=1, iterations=1)
+    write_result("fig11_n_sf_v2v",
+                 format_series_table("Figure 11: effect of n, SF, V2V",
+                                     "n=N", series))
+    for key, results in series.items():
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        sp = methods["SP-Oracle"]
+        kalgo = methods["K-Algo"]
+        assert se.build_seconds < sp.build_seconds * 1.5
+        assert se.size_bytes < sp.size_bytes
+        assert se.query_seconds_mean < sp.query_seconds_mean
+        assert se.query_seconds_mean * 10 < kalgo.query_seconds_mean
+        assert se.errors.max <= 0.1 * (1 + 1e-6)

@@ -1,0 +1,41 @@
+"""Figure 12: A2A queries and P2P in the n > N regime (low-res BH).
+
+The POI-independent SE-A2A oracle (Appendix C/D) against SP-Oracle and
+K-Algo on arbitrary-point queries, plus P2P queries with twice as many
+POIs as vertices routed through the same oracle.
+"""
+
+from conftest import by_method
+
+from repro.experiments import format_series_table
+from repro.experiments.figures import figure12
+
+
+def test_figure12_a2a(benchmark, scale, write_result):
+    epsilons = (0.05, 0.15, 0.25)
+    bundle = benchmark.pedantic(
+        lambda: figure12(scale, epsilons=epsilons, num_queries=10),
+        rounds=1, iterations=1)
+    a2a = bundle["a2a"]
+    p2p = bundle["p2p_big_n"]
+    write_result("fig12_a2a",
+                 format_series_table("Figure 12(a-c): A2A, BH low-res",
+                                     "eps", a2a))
+    write_result("fig12_p2p_big_n",
+                 format_series_table("Figure 12(d): P2P with n > N",
+                                     "eps", p2p))
+    for key, results in a2a.items():
+        methods = by_method(results)
+        se = methods["SE"]
+        sp = methods["SP-Oracle"]
+        kalgo = methods["K-Algo"]
+        # SE beats SP-Oracle on size and query; K-Algo is the slowest
+        # query path by a wide margin.
+        assert se.size_bytes < sp.size_bytes
+        assert se.query_seconds_mean < kalgo.query_seconds_mean
+        assert sp.query_seconds_mean < kalgo.query_seconds_mean
+    for key, results in p2p.items():
+        se = results[0]
+        # Same oracle answers P2P with n > N; errors stay bounded by
+        # the site-grid discretisation envelope.
+        assert se.errors.mean < 0.5

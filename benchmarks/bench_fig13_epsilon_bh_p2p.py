@@ -1,0 +1,21 @@
+"""Figure 13: effect of ε on BearHead, P2P (SE vs K-Algo)."""
+
+from conftest import by_method
+
+from repro.experiments import figure13, format_series_table
+
+
+def test_figure13_epsilon_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure13(scale, num_queries=50), rounds=1, iterations=1)
+    write_result("fig13_epsilon_bh_p2p",
+                 format_series_table("Figure 13: effect of eps, BH, P2P",
+                                     "eps", series))
+    for epsilon_key, results in series.items():
+        epsilon = float(epsilon_key)
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        kalgo = methods["K-Algo"]
+        assert se.query_seconds_mean * 10 < kalgo.query_seconds_mean
+        assert se.errors.max <= epsilon * (1 + 1e-6)
+        assert se.errors.mean <= epsilon / 2  # far below the bound

@@ -1,0 +1,20 @@
+"""Figure 14: effect of ε on EaglePeak, P2P (SE vs K-Algo)."""
+
+from conftest import by_method
+
+from repro.experiments import figure14, format_series_table
+
+
+def test_figure14_epsilon_sweep(benchmark, scale, write_result):
+    series = benchmark.pedantic(
+        lambda: figure14(scale, num_queries=50), rounds=1, iterations=1)
+    write_result("fig14_epsilon_ep_p2p",
+                 format_series_table("Figure 14: effect of eps, EP, P2P",
+                                     "eps", series))
+    for epsilon_key, results in series.items():
+        epsilon = float(epsilon_key)
+        methods = by_method(results)
+        se = methods["SE(Random)"]
+        kalgo = methods["K-Algo"]
+        assert se.query_seconds_mean * 10 < kalgo.query_seconds_mean
+        assert se.errors.max <= epsilon * (1 + 1e-6)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks: single-query latency of each method.
+
+These use pytest-benchmark's calibrated loop (unlike the one-shot
+figure sweeps) to measure the per-query cost of SE's O(h) lookup, the
+O(h²) naive scan, SP-Oracle's neighbourhood minimisation and K-Algo's
+on-the-fly search on a shared workload.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines import KAlgo, SPOracle
+from repro.core import SEOracle
+from repro.experiments import load_dataset
+from repro.geodesic import GeodesicEngine
+
+EPSILON = 0.1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = load_dataset("sf-small", "small")
+    engine = GeodesicEngine(dataset.mesh, dataset.pois, points_per_edge=1)
+    se = SEOracle(engine, EPSILON, seed=1).build()
+    sp = SPOracle(dataset.mesh, EPSILON, points_per_edge=1).build()
+    kalgo = KAlgo(dataset.mesh, dataset.pois, EPSILON, points_per_edge=1)
+    pairs = list(itertools.islice(
+        ((i, j) for i in range(dataset.num_pois)
+         for j in range(dataset.num_pois) if i != j), 64))
+    return dataset, se, sp, kalgo, pairs
+
+
+def _drain(query, pairs):
+    total = 0.0
+    for source, target in pairs:
+        total += query(source, target)
+    return total
+
+
+def test_se_efficient_query(benchmark, setup):
+    _, se, _, _, pairs = setup
+    benchmark(lambda: _drain(se.query, pairs))
+
+
+def test_se_naive_query(benchmark, setup):
+    _, se, _, _, pairs = setup
+    benchmark(lambda: _drain(se.query_naive, pairs))
+
+
+def test_sp_oracle_query(benchmark, setup):
+    dataset, _, sp, _, pairs = setup
+    benchmark(lambda: _drain(
+        lambda s, t: sp.query_p2p(dataset.pois, s, t), pairs))
+
+
+def test_kalgo_query(benchmark, setup):
+    _, _, _, kalgo, pairs = setup
+    benchmark(lambda: _drain(kalgo.query, pairs[:8]))

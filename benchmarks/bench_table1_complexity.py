@@ -1,0 +1,39 @@
+"""Table 1 probes: the measurable complexity claims.
+
+Table 1 itself is analytic; what can be measured is (i) the tree height
+h stays well below 30, (ii) SE's node pair count grows ~linearly in n
+(Theorem 2), and (iii) SP-Oracle's index is quadratic in its site count
+while SE's is not.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.baselines import SPOracle
+from repro.experiments import load_dataset, table1_complexity_probes
+
+
+def test_table1_probes(benchmark, scale, write_result):
+    probe = benchmark.pedantic(
+        lambda: table1_complexity_probes(scale, dataset_name="sf",
+                                         epsilon=0.25),
+        rounds=1, iterations=1)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        table1_render = table1_complexity_probes(
+            "tiny", dataset_name="sf", epsilon=0.25, render=True)
+    write_result("table1_complexity", buffer.getvalue())
+
+    assert probe.height_below_30
+    assert probe.pairs_within_envelope
+    assert 0.5 <= probe.beta <= 2.5  # the paper's [1.3, 1.5] band,
+    # widened for small-sample estimation noise.
+
+
+def test_sp_oracle_size_is_quadratic(scale):
+    dataset = load_dataset("sf-small", "tiny")
+    sp1 = SPOracle(dataset.mesh, epsilon=0.25, points_per_edge=0).build()
+    sp2 = SPOracle(dataset.mesh, epsilon=0.25, points_per_edge=1).build()
+    site_ratio = sp2.num_sites / sp1.num_sites
+    size_ratio = sp2.size_bytes() / sp1.size_bytes()
+    assert size_ratio > site_ratio ** 2 * 0.99

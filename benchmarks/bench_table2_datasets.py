@@ -1,0 +1,25 @@
+"""Table 2: dataset statistics of the BH / EP / SF analogues."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.experiments import table2_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, scale, write_result):
+    rows = benchmark.pedantic(
+        lambda: table2_dataset_statistics(scale), rounds=1, iterations=1)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        table2_dataset_statistics(scale, render=True)
+    write_result("table2_datasets", buffer.getvalue())
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Region extents follow Table 2 of the paper.
+    assert by_name["bearhead"]["region_km"] == (14.0, 10.0)
+    assert by_name["eaglepeak"]["region_km"] == (10.7, 14.0)
+    assert by_name["sf"]["region_km"] == (14.0, 11.1)
+    # POI/vertex ratio ordering matches the paper: SF is POI-dense.
+    sf_ratio = by_name["sf"]["pois"] / by_name["sf"]["vertices"]
+    bh_ratio = by_name["bearhead"]["pois"] / by_name["bearhead"]["vertices"]
+    assert sf_ratio > bh_ratio

@@ -1,0 +1,22 @@
+"""Table 3: query-distance statistics (max/min/avg/std in km)."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.experiments import table3_query_distances
+
+
+def test_table3_query_distances(benchmark, scale, write_result):
+    rows = benchmark.pedantic(
+        lambda: table3_query_distances(scale, num_queries=50),
+        rounds=1, iterations=1)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        table3_query_distances(scale, num_queries=50, render=True)
+    write_result("table3_query_distances", buffer.getvalue())
+
+    for row in rows:
+        assert 0 < row["min_km"] <= row["avg_km"] <= row["max_km"]
+        assert row["std_km"] >= 0
+        # Distances are bounded by the terrain scale (tens of km).
+        assert row["max_km"] < 40.0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""GIS scenario: hiking-time estimation over a mountain terrain.
+
+The paper's first motivating application: "hikers need the geodesic
+distance to measure the travel time between a source and a destination
+which are landmarks".  This example:
+
+* builds a rugged terrain with a set of landmark POIs (trailheads,
+  shelters, peaks);
+* shows how misleading straight-line (Euclidean) distance is compared
+  to the surface distance (the paper cites ratios up to 300%);
+* answers "nearest shelter" (kNN) and "what can I reach in an hour"
+  (range query) through the SE oracle;
+* estimates hiking time with Naismith's rule on the geodesic path.
+
+Run:  python examples/hiking_assistant.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import (
+    GeodesicEngine,
+    SEOracle,
+    k_nearest_neighbors,
+    make_terrain,
+    range_query,
+    sample_clustered,
+)
+
+WALKING_SPEED_M_PER_H = 4000.0   # Naismith: 4 km/h on the flat
+CLIMB_PENALTY_H_PER_M = 1.0 / 600.0  # +1 h per 600 m of ascent
+
+
+def hiking_hours(engine, source, target):
+    """Naismith's rule along the geodesic path."""
+    distance, path = engine.shortest_path(source, target)
+    ascent = sum(max(0.0, float(path[i + 1][2] - path[i][2]))
+                 for i in range(len(path) - 1))
+    return distance / WALKING_SPEED_M_PER_H + ascent * CLIMB_PENALTY_H_PER_M
+
+
+def main() -> None:
+    # A 4 km x 4 km alpine terrain with 500 m of relief.
+    mesh = make_terrain(grid_exponent=5, extent=(4000.0, 4000.0),
+                        relief=500.0, roughness=0.6, seed=21)
+    landmarks = sample_clustered(mesh, 25, seed=22)
+    engine = GeodesicEngine(mesh, landmarks, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon=0.1, seed=3).build()
+    n = len(landmarks)
+    print(f"terrain {mesh.num_vertices} vertices; {n} landmarks; "
+          f"oracle size {oracle.size_bytes() / 1024:.1f} KB\n")
+
+    # -- Euclidean vs geodesic -------------------------------------------
+    print("Euclidean distance is misleading in the mountains:")
+    worst_ratio, worst_pair = 1.0, (0, 1)
+    for source in range(0, n, 3):
+        for target in range(1, n, 4):
+            if source == target:
+                continue
+            euclid = float(np.linalg.norm(
+                landmarks.positions[source] - landmarks.positions[target]))
+            geodesic = oracle.query(source, target)
+            if euclid > 0 and geodesic / euclid > worst_ratio:
+                worst_ratio = geodesic / euclid
+                worst_pair = (source, target)
+    s, t = worst_pair
+    print(f"  worst pair {s}->{t}: geodesic is {worst_ratio:.2f}x "
+          f"the straight line\n")
+
+    # -- Nearest shelters (kNN through the oracle) -----------------------
+    hiker = 0
+    print(f"three nearest landmarks to landmark {hiker}:")
+    for poi, distance in k_nearest_neighbors(oracle, hiker, 3, n):
+        print(f"  landmark {poi:>2}: {distance:7.1f} m, "
+              f"~{hiking_hours(engine, hiker, poi):.1f} h on foot")
+    print()
+
+    # -- One-hour range --------------------------------------------------
+    budget_m = WALKING_SPEED_M_PER_H * 1.0  # flat-ground hour
+    reachable = range_query(oracle, hiker, budget_m, n)
+    print(f"landmarks within a flat-ground hour ({budget_m:.0f} m) "
+          f"of landmark {hiker}: {[poi for poi, _ in reachable]}")
+
+
+if __name__ == "__main__":
+    main()

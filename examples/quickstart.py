@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: build an SE distance oracle and query it.
+
+Generates a small fractal terrain, samples points-of-interest on its
+surface, builds the Space-Efficient distance oracle and compares its
+answers (and speed) against exact on-the-fly computation.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro import GeodesicEngine, SEOracle, make_terrain, sample_uniform
+
+
+def main() -> None:
+    # 1. A terrain surface: 1 km x 1 km, 100 m of relief.
+    mesh = make_terrain(grid_exponent=4, extent=(1000.0, 1000.0),
+                        relief=100.0, seed=7)
+    print(f"terrain: {mesh.num_vertices} vertices, {mesh.num_faces} faces")
+
+    # 2. Points of interest on the surface.
+    pois = sample_uniform(mesh, 30, seed=11)
+    print(f"POIs: {len(pois)}")
+
+    # 3. The geodesic engine (the metric everything is measured in)
+    #    and the SE oracle with a 10% error budget.
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon=0.10, seed=1)
+
+    started = time.perf_counter()
+    oracle.build()
+    print(f"oracle built in {time.perf_counter() - started:.2f}s: "
+          f"height={oracle.height}, pairs={oracle.num_pairs}, "
+          f"size={oracle.size_bytes() / 1024:.1f} KB")
+
+    # 4. Query it — and sanity-check against the exact distance.
+    for source, target in [(0, 29), (5, 17), (12, 3)]:
+        started = time.perf_counter()
+        approx = oracle.query(source, target)
+        oracle_us = (time.perf_counter() - started) * 1e6
+
+        started = time.perf_counter()
+        exact = engine.distance(source, target)
+        exact_ms = (time.perf_counter() - started) * 1e3
+
+        error = abs(approx - exact) / exact if exact else 0.0
+        print(f"d({source:>2}, {target:>2}) = {approx:8.2f} m  "
+              f"[{oracle_us:7.1f} us]   exact {exact:8.2f} m "
+              f"[{exact_ms:6.2f} ms]   error {error:.4f}")
+
+    # 5. The geodesic path itself (for plotting / export).
+    distance, path = engine.shortest_path(0, 29)
+    print(f"path 0 -> 29: {len(path)} segments, length {distance:.2f} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Computer graphics scenario: 3D shape matching via geodesic signatures.
+
+The paper's second application: "for each object, geodesic distances
+between all pairs of reference points are computed and are stored as a
+feature vector for similarity measurement".  Geodesic feature vectors
+are invariant to rotation and translation, which Euclidean ones are
+not.
+
+This example builds three surfaces — two copies of the same terrain
+(one rigidly rotated) and one genuinely different terrain — places the
+same reference points on each, extracts geodesic feature vectors with
+the SE oracle, and shows that the rotated copy matches the original
+while the different surface does not.
+
+Run:  python examples/shape_matching.py
+"""
+
+import numpy as np
+
+from repro import GeodesicEngine, SEOracle, TriangleMesh, make_terrain
+from repro.terrain import POI, POISet
+
+
+def rotate_mesh(mesh: TriangleMesh, angle_rad: float) -> TriangleMesh:
+    """Rigid rotation around the z axis (plus a translation)."""
+    cos, sin = np.cos(angle_rad), np.sin(angle_rad)
+    rotation = np.array([[cos, -sin, 0.0], [sin, cos, 0.0], [0.0, 0.0, 1.0]])
+    vertices = mesh.vertices @ rotation.T + np.array([500.0, -200.0, 50.0])
+    return TriangleMesh(vertices, mesh.faces)
+
+
+def reference_points(mesh: TriangleMesh, count: int, seed: int) -> POISet:
+    """Reference points at fixed mesh vertices (so they 'travel' with
+    the object under rigid motion)."""
+    rng = np.random.default_rng(seed)
+    vertex_ids = rng.choice(mesh.num_vertices, size=count, replace=False)
+    from repro import pois_from_vertices
+    return pois_from_vertices(mesh, sorted(int(v) for v in vertex_ids))
+
+
+def feature_vector(mesh: TriangleMesh, pois: POISet,
+                   epsilon: float = 0.1) -> np.ndarray:
+    """Upper-triangle pairwise geodesic distances via the SE oracle."""
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon, seed=5).build()
+    n = len(pois)
+    values = [oracle.query(i, j) for i in range(n) for j in range(i + 1, n)]
+    return np.asarray(values)
+
+
+def similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised L2 similarity in [0, 1]."""
+    return float(1.0 / (1.0 + np.linalg.norm(a - b) / np.linalg.norm(a)))
+
+
+def main() -> None:
+    original = make_terrain(grid_exponent=4, extent=(800.0, 800.0),
+                            relief=120.0, seed=33)
+    rotated = rotate_mesh(original, np.pi / 3)
+    different = make_terrain(grid_exponent=4, extent=(800.0, 800.0),
+                             relief=120.0, seed=77)
+
+    count = 12
+    refs_original = reference_points(original, count, seed=1)
+    refs_rotated = reference_points(rotated, count, seed=1)  # same vertices
+    refs_different = reference_points(different, count, seed=1)
+
+    print("extracting geodesic feature vectors "
+          f"({count * (count - 1) // 2} pairwise distances each)...")
+    sig_original = feature_vector(original, refs_original)
+    sig_rotated = feature_vector(rotated, refs_rotated)
+    sig_different = feature_vector(different, refs_different)
+
+    sim_rotated = similarity(sig_original, sig_rotated)
+    sim_different = similarity(sig_original, sig_different)
+    print(f"similarity(original, rotated copy) = {sim_rotated:.4f}")
+    print(f"similarity(original, other shape)  = {sim_different:.4f}")
+    if sim_rotated <= sim_different:
+        raise SystemExit("unexpected: rotation broke the invariance!")
+    print("geodesic signatures are rigid-motion invariant "
+          "and discriminate shapes, as the paper's application requires")
+
+
+if __name__ == "__main__":
+    main()

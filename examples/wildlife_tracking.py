@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Spatial data-mining scenario: wildlife telemetry clustering.
+
+The paper's life-science and spatial-data-mining applications rolled
+into one: radio-telemetry receivers record animal residence sites on a
+terrain, and scientists cluster those sites by *surface* distance
+(animals walk on the terrain, not through it).  Clustering needs many
+inner/inter-cluster distances — the access pattern the oracle exists
+for.
+
+This example runs k-medoids over geodesic distances supplied by the SE
+oracle and contrasts the grouping with a Euclidean clustering that
+ignores a mountain ridge.
+
+Run:  python examples/wildlife_tracking.py
+"""
+
+import numpy as np
+
+from repro import GeodesicEngine, SEOracle, make_terrain
+from repro.terrain import POI, POISet
+
+
+def k_medoids(distance, n, k, iterations=20, seed=0):
+    """Plain PAM over an arbitrary distance callable."""
+    rng = np.random.default_rng(seed)
+    medoids = list(rng.choice(n, size=k, replace=False))
+    assignment = [0] * n
+    for _ in range(iterations):
+        for point in range(n):
+            assignment[point] = min(
+                range(k), key=lambda c: distance(point, medoids[c]))
+        changed = False
+        for cluster in range(k):
+            members = [p for p in range(n) if assignment[p] == cluster]
+            if not members:
+                continue
+            best = min(members, key=lambda candidate: sum(
+                distance(candidate, other) for other in members))
+            if best != medoids[cluster]:
+                medoids[cluster] = best
+                changed = True
+        if not changed:
+            break
+    return medoids, assignment
+
+
+def ridge_terrain():
+    """A terrain with a tall ridge along x = mid: crossing is costly."""
+    size = 33
+    xs = np.linspace(0.0, 1.0, size)
+    grid_x, _ = np.meshgrid(xs, xs, indexing="ij")
+    ridge = 400.0 * np.exp(-((grid_x - 0.5) ** 2) / (2 * 0.03 ** 2))
+    from repro.terrain import heightfield_to_mesh
+    return heightfield_to_mesh(ridge, 2000.0, 2000.0)
+
+
+def main() -> None:
+    mesh = ridge_terrain()
+    # Residence sites on both flanks of the ridge.
+    rng = np.random.default_rng(4)
+    sites = []
+    for index in range(24):
+        flank = 0.0 if index % 2 == 0 else 1.0
+        x = float(rng.uniform(100, 800)) + flank * 1000.0
+        y = float(rng.uniform(100, 1900))
+        face = mesh.locate_face(x, y)
+        point = mesh.project_onto_surface(x, y)
+        sites.append(POI(index=index,
+                         position=tuple(float(c) for c in point),
+                         face_id=face))
+    pois = POISet(sites)
+    n = len(pois)
+
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon=0.1, seed=2).build()
+    print(f"{n} telemetry sites on a ridge terrain "
+          f"({mesh.num_vertices} vertices)\n")
+
+    def geodesic(a, b):
+        return oracle.query(a, b)
+
+    def euclidean(a, b):
+        return float(np.linalg.norm(pois.positions[a] - pois.positions[b]))
+
+    _, geo_clusters = k_medoids(geodesic, n, k=2, seed=1)
+    _, euc_clusters = k_medoids(euclidean, n, k=2, seed=1)
+
+    def purity(assignment):
+        """How well clusters coincide with the two ridge flanks."""
+        flanks = [0 if pois.positions[i][0] < 1000.0 else 1
+                  for i in range(n)]
+        agree = sum(1 for i in range(n) if assignment[i] == flanks[i])
+        return max(agree, n - agree) / n
+
+    print(f"geodesic clustering flank purity:  {purity(geo_clusters):.2f}")
+    print(f"euclidean clustering flank purity: {purity(euc_clusters):.2f}")
+    print("\nthe geodesic clustering separates the flanks because the "
+          "ridge makes crossing expensive on the surface — the paper's "
+          "motivation for surface-aware distance in spatial mining.")
+
+
+if __name__ == "__main__":
+    main()

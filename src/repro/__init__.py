@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Distance Oracle on Terrain Surface".
+
+Wei, Wong, Long & Mount, SIGMOD 2017 (DOI 10.1145/3035918.3064038).
+
+The package implements the SE (Space-Efficient) ε-approximate geodesic
+distance oracle over points-of-interest on a triangulated terrain,
+every substrate it depends on, and every baseline it is evaluated
+against.  The most common entry points:
+
+>>> from repro import make_terrain, sample_uniform, GeodesicEngine, SEOracle
+>>> mesh = make_terrain(grid_exponent=4, seed=1)
+>>> pois = sample_uniform(mesh, 30, seed=2)
+>>> oracle = SEOracle(GeodesicEngine(mesh, pois), epsilon=0.1).build()
+>>> distance = oracle.query(0, 17)   # eps-approximate geodesic distance
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and per-experiment index.
+"""
+
+from .baselines import FullAPSPBaseline, KAlgo, SPOracle
+from .core import A2AOracle, DynamicSEOracle, SEOracle
+from .geodesic import GeodesicEngine, GeodesicGraph
+from .queries import (
+    k_nearest_neighbors,
+    nearest_neighbor,
+    range_query,
+    reverse_nearest_neighbors,
+)
+from .terrain import (
+    POISet,
+    TriangleMesh,
+    make_terrain,
+    pois_from_vertices,
+    read_mesh,
+    sample_clustered,
+    sample_uniform,
+    write_mesh,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SEOracle",
+    "A2AOracle",
+    "DynamicSEOracle",
+    "GeodesicEngine",
+    "GeodesicGraph",
+    "SPOracle",
+    "KAlgo",
+    "FullAPSPBaseline",
+    "TriangleMesh",
+    "POISet",
+    "make_terrain",
+    "sample_uniform",
+    "sample_clustered",
+    "pois_from_vertices",
+    "read_mesh",
+    "write_mesh",
+    "k_nearest_neighbors",
+    "nearest_neighbor",
+    "range_query",
+    "reverse_nearest_neighbors",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis: capacity dimension (Appendix A) and error statistics."""
+
+from .capacity_dimension import (
+    CapacityDimensionEstimate,
+    estimate_capacity_dimension,
+    greedy_packing_number,
+)
+from .error_stats import ErrorStats, measure_errors, relative_error
+
+__all__ = [
+    "CapacityDimensionEstimate",
+    "estimate_capacity_dimension",
+    "greedy_packing_number",
+    "ErrorStats",
+    "measure_errors",
+    "relative_error",
+]

@@ -1,0 +1,66 @@
+"""Approximation-error measurement (the "error" panel of Figure 8).
+
+The paper evaluates every oracle by the relative error of its answers
+against the exact geodesic distance, reporting that observed errors sit
+far below the ε bound (about ε/10).  :func:`measure_errors` compares
+any oracle against ground-truth distances over a query workload and
+summarises mean / max / percentile errors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["ErrorStats", "measure_errors", "relative_error"]
+
+QueryPair = Tuple[int, int]
+
+
+def relative_error(approx: float, exact: float) -> float:
+    """``|approx - exact| / exact`` with a zero-distance guard."""
+    if exact == 0.0:
+        return 0.0 if approx == 0.0 else math.inf
+    return abs(approx - exact) / exact
+
+
+@dataclass
+class ErrorStats:
+    """Distribution summary of relative errors over a workload."""
+
+    count: int
+    mean: float
+    max: float
+    p50: float
+    p95: float
+
+    def within_bound(self, epsilon: float) -> bool:
+        """Whether every observed error respects the ε guarantee."""
+        return self.max <= epsilon * (1 + 1e-9)
+
+
+def measure_errors(approx_of: Callable[[int, int], float],
+                   exact_of: Callable[[int, int], float],
+                   pairs: Sequence[QueryPair]) -> ErrorStats:
+    """Evaluate ``approx_of`` against ``exact_of`` over query pairs."""
+    if not pairs:
+        raise ValueError("empty query workload")
+    errors: List[float] = []
+    for source, target in pairs:
+        errors.append(relative_error(approx_of(source, target),
+                                     exact_of(source, target)))
+    errors.sort()
+    count = len(errors)
+
+    def percentile(fraction: float) -> float:
+        index = min(count - 1, max(0, math.ceil(fraction * count) - 1))
+        return errors[index]
+
+    return ErrorStats(
+        count=count,
+        mean=sum(errors) / count,
+        max=errors[-1],
+        p50=percentile(0.50),
+        p95=percentile(0.95),
+    )

@@ -1,0 +1,12 @@
+"""Baselines the paper compares SE against (Section 4.2)."""
+
+from .full_apsp import FullAPSPBaseline
+from .kalgo import KAlgo
+from .sp_oracle import SPOracle, steiner_density_for_epsilon
+
+__all__ = [
+    "SPOracle",
+    "steiner_density_for_epsilon",
+    "KAlgo",
+    "FullAPSPBaseline",
+]

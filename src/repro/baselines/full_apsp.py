@@ -1,0 +1,72 @@
+"""Full materialization baseline — the strawman of Section 2.
+
+"A full materialization of geodesic distances for all possible pairs of
+points in P is not feasible since the complexity of the oracle size and
+the oracle building time are O(n²) and O(n N log² N)."  We implement it
+anyway: it is the exactness/throughput reference for small ``n`` and
+the ablation endpoint the other oracles are judged against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geodesic.engine import GeodesicEngine
+
+__all__ = ["FullAPSPBaseline"]
+
+
+@dataclass
+class FullAPSPStats:
+    total_seconds: float = 0.0
+    ssad_calls: int = 0
+
+
+class FullAPSPBaseline:
+    """Exact n x n POI distance matrix via one SSAD per POI."""
+
+    def __init__(self, engine: GeodesicEngine):
+        self._engine = engine
+        self._matrix: Optional[np.ndarray] = None
+        self.stats = FullAPSPStats()
+
+    def build(self) -> "FullAPSPBaseline":
+        engine = self._engine
+        n = engine.num_pois
+        started = time.perf_counter()
+        calls_before = engine.ssad_calls
+        matrix = np.full((n, n), np.inf)
+        for source in range(n):
+            for target, distance in engine.distances_from_poi(source).items():
+                matrix[source, target] = distance
+        self._matrix = matrix
+        self.stats.total_seconds = time.perf_counter() - started
+        self.stats.ssad_calls = engine.ssad_calls - calls_before
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._matrix is not None
+
+    def size_bytes(self) -> int:
+        if self._matrix is None:
+            raise RuntimeError("baseline not built; call build() first")
+        return 8 * self._matrix.size
+
+    def query(self, source: int, target: int) -> float:
+        """Exact geodesic distance (O(1) table lookup)."""
+        if self._matrix is None:
+            raise RuntimeError("baseline not built; call build() first")
+        return float(self._matrix[source, target])
+
+    def matrix(self) -> np.ndarray:
+        """The full distance matrix (read-only view)."""
+        if self._matrix is None:
+            raise RuntimeError("baseline not built; call build() first")
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate
+    Create a synthetic terrain and write it as OFF/OBJ.
+stats
+    Print Table 2-style statistics for a mesh file.
+build
+    Build an SE oracle over a mesh + sampled POIs and save it.
+query
+    Load a saved oracle and answer POI-to-POI distance queries.
+bench
+    Run one of the paper's experiments (fig8..fig14, table1..table3).
+
+Examples
+--------
+::
+
+    python -m repro generate --exponent 5 --out terrain.off
+    python -m repro stats terrain.off
+    python -m repro build terrain.off --pois 50 --epsilon 0.1 \
+        --out oracle.json
+    python -m repro query terrain.off oracle.json --pois 50 3 41
+    python -m repro bench fig8 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SE distance oracle on terrain surfaces "
+                    "(SIGMOD 2017 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic terrain mesh")
+    generate.add_argument("--exponent", type=int, default=5,
+                          help="grid exponent; side = 2**e + 1 vertices")
+    generate.add_argument("--extent", type=float, nargs=2,
+                          default=(4000.0, 4000.0), metavar=("X", "Y"))
+    generate.add_argument("--relief", type=float, default=400.0)
+    generate.add_argument("--roughness", type=float, default=0.55)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True,
+                          help="output path (.off or .obj)")
+
+    stats = commands.add_parser("stats", help="terrain statistics")
+    stats.add_argument("mesh", help="mesh file (.off or .obj)")
+
+    build = commands.add_parser("build", help="build and save an SE oracle")
+    build.add_argument("mesh", help="mesh file (.off or .obj)")
+    build.add_argument("--pois", type=int, default=50,
+                       help="number of POIs to sample (seeded)")
+    build.add_argument("--poi-seed", type=int, default=1)
+    build.add_argument("--epsilon", type=float, default=0.1)
+    build.add_argument("--strategy", choices=("random", "greedy"),
+                       default="random")
+    build.add_argument("--density", type=int, default=1,
+                       help="Steiner points per edge of the metric graph")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", required=True, help="oracle output (.json)")
+
+    query = commands.add_parser("query", help="query a saved oracle")
+    query.add_argument("mesh", help="mesh file the oracle was built on")
+    query.add_argument("oracle", help="oracle file from 'build'")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("--pois", type=int, default=50,
+                       help="POI count used at build time")
+    query.add_argument("--poi-seed", type=int, default=1)
+    query.add_argument("--density", type=int, default=1)
+    query.add_argument("--exact", action="store_true",
+                       help="also compute the exact distance")
+
+    bench = commands.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("experiment",
+                       choices=["fig8", "fig9", "fig10", "fig11", "fig12",
+                                "fig13", "fig14", "table1", "table2",
+                                "table3"])
+    bench.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "bench", "large"))
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .terrain import make_terrain, write_mesh
+    mesh = make_terrain(grid_exponent=args.exponent,
+                        extent=tuple(args.extent), relief=args.relief,
+                        roughness=args.roughness, seed=args.seed)
+    write_mesh(mesh, args.out)
+    print(f"wrote {mesh.num_vertices} vertices / {mesh.num_faces} faces "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .terrain import read_mesh, terrain_statistics, validate_mesh
+    mesh = read_mesh(args.mesh)
+    stats = terrain_statistics(mesh)
+    report = validate_mesh(mesh)
+    print(stats.describe())
+    print(f"edges={stats.num_edges} faces={stats.num_faces} "
+          f"min_angle={stats.min_inner_angle_deg:.1f}deg "
+          f"ruggedness={stats.ruggedness:.3f}")
+    print(f"valid={report.ok} "
+          f"(manifold={report.is_manifold}, connected={report.is_connected},"
+          f" boundary_edges={report.boundary_edges})")
+    return 0
+
+
+def _workload(mesh_path: str, poi_count: int, poi_seed: int, density: int):
+    from .geodesic import GeodesicEngine
+    from .terrain import read_mesh, sample_uniform
+    mesh = read_mesh(mesh_path)
+    pois = sample_uniform(mesh, poi_count, seed=poi_seed)
+    return GeodesicEngine(mesh, pois, points_per_edge=density)
+
+
+def _cmd_build(args) -> int:
+    from .core import SEOracle, save_oracle
+    engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
+    started = time.perf_counter()
+    oracle = SEOracle(engine, args.epsilon, strategy=args.strategy,
+                      seed=args.seed).build()
+    elapsed = time.perf_counter() - started
+    save_oracle(oracle, args.out)
+    print(f"built in {elapsed:.2f}s: n={engine.num_pois} "
+          f"h={oracle.height} pairs={oracle.num_pairs} "
+          f"size={oracle.size_bytes() / 1024:.1f}KB -> {args.out}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .core import load_oracle
+    engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
+    oracle = load_oracle(args.oracle, engine)
+    started = time.perf_counter()
+    distance = oracle.query(args.source, args.target)
+    micros = (time.perf_counter() - started) * 1e6
+    print(f"d({args.source}, {args.target}) = {distance:.3f} "
+          f"[{micros:.1f} us]")
+    if args.exact:
+        exact = engine.distance(args.source, args.target)
+        error = abs(distance - exact) / exact if exact else 0.0
+        print(f"exact = {exact:.3f}  error = {error:.4f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from . import experiments
+    runners = {
+        "fig8": lambda: experiments.figure8(args.scale, render=True),
+        "fig9": lambda: experiments.figure9(args.scale, render=True),
+        "fig10": lambda: experiments.figure10(args.scale, render=True),
+        "fig11": lambda: experiments.figure11(args.scale, render=True),
+        "fig12": lambda: experiments.figure12(args.scale, render=True),
+        "fig13": lambda: experiments.figure13(args.scale, render=True),
+        "fig14": lambda: experiments.figure14(args.scale, render=True),
+        "table1": lambda: experiments.table1_complexity_probes(
+            args.scale, render=True),
+        "table2": lambda: experiments.table2_dataset_statistics(
+            args.scale, render=True),
+        "table3": lambda: experiments.table3_query_distances(
+            args.scale, render=True),
+    }
+    runners[args.experiment]()
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

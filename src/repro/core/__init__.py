@@ -1,0 +1,45 @@
+"""Core: the SE distance oracle and its tree / node-pair machinery."""
+
+from .compressed_tree import (
+    CompressedPartitionTree,
+    CompressedTreeNode,
+    compress_tree,
+)
+from .node_pairs import (
+    EnhancedEdgeIndex,
+    NodePairSet,
+    build_enhanced_edges,
+    generate_node_pairs,
+    well_separated_threshold,
+)
+from .a2a import A2AOracle, build_site_pois
+from .dynamic import DynamicSEOracle
+from .oracle import BuildStats, SEOracle
+from .partition_tree import (
+    PartitionTree,
+    PartitionTreeNode,
+    build_partition_tree,
+)
+from .serialize import load_oracle, save_oracle, workload_fingerprint
+
+__all__ = [
+    "SEOracle",
+    "BuildStats",
+    "A2AOracle",
+    "build_site_pois",
+    "DynamicSEOracle",
+    "save_oracle",
+    "load_oracle",
+    "workload_fingerprint",
+    "PartitionTree",
+    "PartitionTreeNode",
+    "build_partition_tree",
+    "CompressedPartitionTree",
+    "CompressedTreeNode",
+    "compress_tree",
+    "EnhancedEdgeIndex",
+    "NodePairSet",
+    "build_enhanced_edges",
+    "generate_node_pairs",
+    "well_separated_threshold",
+]

@@ -1,0 +1,210 @@
+"""Arbitrary-point-to-arbitrary-point (A2A) oracle — Appendix C / D.
+
+The A2A oracle is "the same as [SE] except that it takes some Steiner
+points introduced as input instead of all POIs": build SE over a set of
+fixed *sites* spread over every face (here: the mesh vertices plus the
+per-edge Steiner points of the [12]-style placement), then answer a
+query between arbitrary surface points ``s`` and ``t`` as
+
+    min over p in N(s), q in N(t) of  d(s, p) + d~(p, q) + d(q, t)
+
+where ``N(x)`` is the set of sites on the face containing ``x`` and its
+adjacent faces, ``d~`` is the SE oracle estimate and ``d(s, p)`` is the
+local (Euclidean) hop onto the site grid.
+
+The same construction answers P2P queries when ``n > N`` (Appendix D):
+the oracle is POI-independent, so a million POIs cost nothing at build
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geodesic.engine import GeodesicEngine
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POI, POISet
+from .oracle import SEOracle
+
+__all__ = ["A2AOracle", "build_site_pois"]
+
+
+def build_site_pois(mesh: TriangleMesh, sites_per_edge: int = 1) -> POISet:
+    """The A2A site set: every mesh vertex plus per-edge Steiner sites.
+
+    ``sites_per_edge`` controls A2A accuracy the way [12]'s Steiner
+    density does; 1-2 suffices for the ε values the paper sweeps.
+    """
+    sites, _ = _build_sites_with_faces(mesh, sites_per_edge)
+    return sites
+
+
+def _build_sites_with_faces(mesh: TriangleMesh, sites_per_edge: int
+                            ) -> Tuple[POISet, Dict[int, List[int]]]:
+    """Build the site set together with the per-face site table."""
+    if sites_per_edge < 0:
+        raise ValueError("sites_per_edge must be non-negative")
+    pois: List[POI] = []
+    sites_of_face: Dict[int, List[int]] = {}
+
+    def register(index: int, face_ids: Sequence[int]) -> None:
+        for face_id in face_ids:
+            sites_of_face.setdefault(face_id, []).append(index)
+
+    vertex_faces = mesh.vertex_faces
+    for vertex_id in range(mesh.num_vertices):
+        incident = vertex_faces[vertex_id]
+        if not incident:
+            continue
+        register(len(pois), incident)
+        pois.append(POI(index=len(pois),
+                        position=tuple(float(c)
+                                       for c in mesh.vertices[vertex_id]),
+                        face_id=incident[0], vertex_id=vertex_id))
+    if sites_per_edge > 0:
+        fractions = np.arange(1, sites_per_edge + 1) / (sites_per_edge + 1)
+        edge_faces = mesh.edge_faces
+        for (u, v) in mesh.edges:
+            incident = edge_faces[(u, v)]
+            start, end = mesh.vertices[u], mesh.vertices[v]
+            for fraction in fractions:
+                position = start + fraction * (end - start)
+                register(len(pois), incident)
+                pois.append(POI(index=len(pois),
+                                position=tuple(float(c) for c in position),
+                                face_id=incident[0]))
+    site_set = POISet(pois)
+    if len(site_set) != len(pois):
+        raise RuntimeError("site positions collided; degenerate mesh?")
+    return site_set, sites_of_face
+
+
+class A2AOracle:
+    """ε-approximate distance oracle for arbitrary surface points.
+
+    Parameters
+    ----------
+    mesh:
+        Terrain surface.
+    epsilon:
+        Error parameter of the underlying SE oracle.
+    sites_per_edge:
+        Density of the site grid the SE oracle indexes.
+    points_per_edge:
+        Steiner density of the geodesic metric graph.
+    strategy / seed:
+        Passed through to :class:`~repro.core.oracle.SEOracle`.
+    """
+
+    def __init__(self, mesh: TriangleMesh, epsilon: float,
+                 sites_per_edge: int = 1, points_per_edge: int = 1,
+                 strategy: str = "random", seed: int = 0):
+        self._mesh = mesh
+        self.epsilon = epsilon
+        # A site belongs to every face incident to it (vertices to their
+        # star, edge sites to both edge faces).
+        self._sites, self._sites_of_face = _build_sites_with_faces(
+            mesh, sites_per_edge)
+        self._engine = GeodesicEngine(mesh, self._sites,
+                                      points_per_edge=points_per_edge)
+        self._oracle = SEOracle(self._engine, epsilon, strategy=strategy,
+                                seed=seed)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def build(self) -> "A2AOracle":
+        self._oracle.build()
+        self._built = True
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    @property
+    def se_oracle(self) -> SEOracle:
+        return self._oracle
+
+    @property
+    def num_sites(self) -> int:
+        return len(self._sites)
+
+    @property
+    def stats(self):
+        return self._oracle.stats
+
+    def size_bytes(self) -> int:
+        """Oracle size: SE index + the per-face site table."""
+        table = sum(len(sites) for sites in self._sites_of_face.values())
+        return self._oracle.size_bytes() + 8 * table
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def neighborhood(self, x: float, y: float) -> List[int]:
+        """``N(s)``: site indices on the containing + adjacent faces."""
+        face_id = self._mesh.locate_face(x, y)
+        if face_id < 0:
+            raise ValueError(f"({x}, {y}) is outside the terrain")
+        sites: List[int] = []
+        seen = set()
+        for adjacent in self._mesh.faces_adjacent_to(face_id):
+            for site in self._sites_of_face.get(adjacent, ()):
+                if site not in seen:
+                    seen.add(site)
+                    sites.append(site)
+        return sites
+
+    def query(self, source_xy: Tuple[float, float],
+              target_xy: Tuple[float, float]) -> float:
+        """ε-approximate geodesic distance between two surface points.
+
+        Points are given by planar coordinates and lifted onto the
+        surface (the paper's A2A query generation).
+        """
+        if not self._built:
+            raise RuntimeError("oracle not built; call build() first")
+        source = self._lift(*source_xy)
+        target = self._lift(*target_xy)
+        positions = self._sites.positions
+        # Sort both neighbourhoods by hop distance: once the combined
+        # hops alone exceed the incumbent, every later combination is
+        # worse too, so the scan can cut off early.
+        hops_s = sorted((_euclid(source, positions[s]), s)
+                        for s in self.neighborhood(*source_xy))
+        hops_t = sorted((_euclid(target, positions[t]), t)
+                        for t in self.neighborhood(*target_xy))
+        best = math.inf
+        for hop_s, site_s in hops_s:
+            if hop_s + hops_t[0][0] >= best:
+                break
+            for hop_t, site_t in hops_t:
+                if hop_s + hop_t >= best:
+                    break
+                total = hop_s + self._oracle.query(site_s, site_t) + hop_t
+                if total < best:
+                    best = total
+        return best
+
+    def query_p2p(self, pois: POISet, source: int, target: int) -> float:
+        """P2P query through the POI-independent oracle (Appendix D)."""
+        source_poi = pois[source]
+        target_poi = pois[target]
+        return self.query((source_poi.x, source_poi.y),
+                          (target_poi.x, target_poi.y))
+
+    def _lift(self, x: float, y: float) -> np.ndarray:
+        point = self._mesh.project_onto_surface(x, y)
+        if point is None:
+            raise ValueError(f"({x}, {y}) is outside the terrain")
+        return point
+
+
+def _euclid(a: np.ndarray, b: np.ndarray) -> float:
+    delta = a - b
+    return float(math.sqrt(float(delta @ delta)))

@@ -1,0 +1,189 @@
+"""The compressed partition tree — SE oracle component 1 (Section 3.2).
+
+The compressed tree removes every internal single-child node of the
+partition tree (re-parenting the child to its grandparent) and zeroes
+the radius of the leaves.  The result has at most ``2n - 1`` nodes
+(Lemma 9), which is what makes SE space-efficient: every structure the
+oracle stores afterwards is linear in ``n``, not in ``n * h``.
+
+Compressed nodes remember their *original* layer number — the layer of
+the corresponding node in ``T_org`` — because the query algorithm's
+layer arithmetic (Observation 1) is expressed in original layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .partition_tree import PartitionTree
+
+__all__ = ["CompressedTreeNode", "CompressedPartitionTree", "compress_tree"]
+
+
+@dataclass
+class CompressedTreeNode:
+    """A node of the compressed partition tree.
+
+    ``layer`` is the layer number in the *original* partition tree;
+    ``radius`` is the original radius, except leaves where it is 0.
+    ``origin_id`` is the node id in ``T_org`` this node came from.
+    """
+
+    node_id: int
+    center: int
+    layer: int
+    radius: float
+    parent: Optional[int]
+    origin_id: int
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def enlarged_radius(self) -> float:
+        """Radius of the enlarged disk ``D(c_O, 2 r_O)`` (Section 3.3)."""
+        return 2.0 * self.radius
+
+
+class CompressedPartitionTree:
+    """Compressed partition tree with per-POI leaf lookup."""
+
+    def __init__(self, nodes: List[CompressedTreeNode], root_id: int,
+                 height: int, root_radius: float):
+        self.nodes = nodes
+        self.root_id = root_id
+        self.height = height
+        self.root_radius = root_radius
+        self.leaf_of_poi: Dict[int, int] = {}
+        for node in nodes:
+            if node.is_leaf:
+                self.leaf_of_poi[node.center] = node.node_id
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> CompressedTreeNode:
+        return self.nodes[self.root_id]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> CompressedTreeNode:
+        return self.nodes[node_id]
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Node ids from ``node_id`` (inclusive) up to the root."""
+        path = [node_id]
+        while self.nodes[path[-1]].parent is not None:
+            path.append(self.nodes[path[-1]].parent)
+        return path
+
+    def layer_array(self, poi: int) -> List[Optional[int]]:
+        """The query algorithm's ``A_s`` array for a POI.
+
+        ``array[i]`` is the node id at original layer ``i`` along the
+        path from the POI's leaf to the root, or ``None`` when the
+        (compressed) path skips that layer.
+        """
+        array: List[Optional[int]] = [None] * (self.height + 1)
+        for node_id in self.path_to_root(self.leaf_of_poi[poi]):
+            array[self.nodes[node_id].layer] = node_id
+        return array
+
+    def descendant_leaf_centers(self, node_id: int) -> List[int]:
+        """The representative set RS(O): centres of leaf descendants."""
+        result = []
+        stack = [node_id]
+        while stack:
+            node = self.nodes[stack.pop()]
+            if node.is_leaf:
+                result.append(node.center)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def size_bytes(self) -> int:
+        """Byte model: 6 8-byte fields per node (id, centre, layer,
+        radius, parent, child-slot)."""
+        child_slots = sum(len(node.children) for node in self.nodes)
+        return 8 * (5 * len(self.nodes) + child_slots)
+
+    # ------------------------------------------------------------------
+    # invariants (tests)
+    # ------------------------------------------------------------------
+    def check_structure(self, num_pois: int) -> None:
+        """Assert Lemma 9's shape: n leaves, >=2 children internally."""
+        leaves = [node for node in self.nodes if node.is_leaf]
+        assert len(leaves) == num_pois, "one leaf per POI required"
+        assert all(node.radius == 0.0 for node in leaves)
+        for node in self.nodes:
+            if node.node_id == self.root_id:
+                assert node.parent is None
+                continue
+            assert node.parent is not None
+            assert node.node_id in self.nodes[node.parent].children
+            assert self.nodes[node.parent].layer < node.layer
+        internal = [node for node in self.nodes if not node.is_leaf]
+        for node in internal:
+            if node.node_id != self.root_id:
+                assert len(node.children) >= 2, (
+                    f"internal node {node.node_id} kept a single child"
+                )
+        assert len(self.nodes) <= 2 * num_pois - 1 or num_pois == 1
+
+
+def compress_tree(tree: PartitionTree) -> CompressedPartitionTree:
+    """Compress a partition tree (Section 3.2's three-step procedure)."""
+    original = tree.nodes
+    height = tree.height
+
+    # Decide which original nodes survive: the root, every leaf, and
+    # every internal node with at least two children.
+    survives = [False] * len(original)
+    for node in original:
+        if node.layer == height or len(node.children) >= 2:
+            survives[node.node_id] = True
+    survives[tree.root.node_id] = True
+
+    compressed: List[CompressedTreeNode] = []
+    new_id_of: Dict[int, int] = {}
+    for node in original:
+        if not survives[node.node_id]:
+            continue
+        is_leaf = node.layer == height
+        new_id = len(compressed)
+        new_id_of[node.node_id] = new_id
+        compressed.append(CompressedTreeNode(
+            node_id=new_id,
+            center=node.center,
+            layer=node.layer,
+            radius=0.0 if is_leaf else node.radius,
+            parent=None,  # fixed below
+            origin_id=node.node_id,
+        ))
+
+    # Re-parent: walk up from each surviving node to the nearest
+    # surviving proper ancestor.
+    for node in original:
+        if not survives[node.node_id]:
+            continue
+        ancestor = node.parent
+        while ancestor is not None and not survives[ancestor]:
+            ancestor = original[ancestor].parent
+        if ancestor is not None:
+            child = new_id_of[node.node_id]
+            parent = new_id_of[ancestor]
+            compressed[child].parent = parent
+            compressed[parent].children.append(child)
+
+    return CompressedPartitionTree(
+        nodes=compressed,
+        root_id=new_id_of[tree.root.node_id],
+        height=height,
+        root_radius=tree.root_radius,
+    )

@@ -1,0 +1,187 @@
+"""Dynamic POI updates on top of SE — the paper's future-work direction.
+
+The conclusion singles out "how to efficiently update the distance
+oracle when there is an update on some POIs" as an open problem.  This
+module implements the standard *overlay + periodic rebuild* design:
+
+* **insert**: the new POI joins a small overlay set; queries touching
+  an overlay POI are answered by an on-demand SSAD (exact on the engine
+  metric, hence trivially within ε) whose result is memoised;
+* **delete**: the POI is tombstoned; querying it raises ``KeyError``;
+* once the overlay + tombstones exceed ``rebuild_factor`` times the
+  active POI count, the SE oracle is rebuilt from scratch over the
+  active set — amortising the rebuild cost over many updates.
+
+External POI ids are stable across rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..geodesic.engine import GeodesicEngine
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POI, POISet
+from .oracle import SEOracle
+
+__all__ = ["DynamicSEOracle"]
+
+
+class DynamicSEOracle:
+    """SE oracle with insert/delete support via overlay + rebuild.
+
+    Parameters
+    ----------
+    mesh:
+        Terrain surface.
+    pois:
+        Initial POI set.
+    epsilon:
+        Error parameter of the underlying SE oracle.
+    rebuild_factor:
+        Rebuild once ``overlay + tombstones > factor * active``.
+    points_per_edge:
+        Steiner density of the metric graph.
+    """
+
+    def __init__(self, mesh: TriangleMesh, pois: POISet, epsilon: float,
+                 rebuild_factor: float = 0.25, points_per_edge: int = 1,
+                 seed: int = 0):
+        if rebuild_factor <= 0:
+            raise ValueError("rebuild_factor must be positive")
+        self._mesh = mesh
+        self.epsilon = epsilon
+        self.rebuild_factor = rebuild_factor
+        self._points_per_edge = points_per_edge
+        self._seed = seed
+        self.rebuild_count = 0
+
+        # External id -> current POI record; stable across rebuilds.
+        self._records: Dict[int, POI] = {
+            index: poi for index, poi in enumerate(pois)
+        }
+        self._next_id = len(self._records)
+        self._deleted: set = set()
+        self._overlay: set = set()
+
+        self._engine: Optional[GeodesicEngine] = None
+        self._oracle: Optional[SEOracle] = None
+        self._base_index: Dict[int, int] = {}
+        self._overlay_nodes: Dict[int, int] = {}
+        self._overlay_cache: Dict[Tuple[int, int], float] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def build(self) -> "DynamicSEOracle":
+        self._rebuild()
+        self._built = True
+        return self
+
+    def _rebuild(self) -> None:
+        active_ids = [i for i in sorted(self._records)
+                      if i not in self._deleted]
+        if not active_ids:
+            raise ValueError("cannot build over zero active POIs")
+        base_pois = POISet([self._records[i] for i in active_ids])
+        if len(base_pois) != len(active_ids):
+            raise RuntimeError("active POIs collided after dedup")
+        self._engine = GeodesicEngine(self._mesh, base_pois,
+                                      points_per_edge=self._points_per_edge)
+        self._oracle = SEOracle(self._engine, self.epsilon,
+                                seed=self._seed).build()
+        self._base_index = {external: i
+                            for i, external in enumerate(active_ids)}
+        self._overlay = set()
+        self._overlay_nodes = {}
+        self._overlay_cache = {}
+        # Tombstoned ids are physically gone now.
+        for dead in self._deleted:
+            self._records.pop(dead, None)
+        self._deleted = set()
+        self.rebuild_count += 1
+
+    @property
+    def num_active(self) -> int:
+        return len(self._records) - len(self._deleted)
+
+    @property
+    def overlay_size(self) -> int:
+        return len(self._overlay)
+
+    @property
+    def oracle(self) -> SEOracle:
+        if self._oracle is None:
+            raise RuntimeError("oracle not built; call build() first")
+        return self._oracle
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> int:
+        """Insert the surface POI above planar ``(x, y)``; returns its id."""
+        self._require_built()
+        face_id = self._mesh.locate_face(x, y)
+        if face_id < 0:
+            raise ValueError(f"({x}, {y}) is outside the terrain")
+        point = self._mesh.project_onto_surface(x, y)
+        external = self._next_id
+        self._next_id += 1
+        self._records[external] = POI(
+            index=external, position=tuple(float(c) for c in point),
+            face_id=face_id)
+        self._overlay.add(external)
+        node = self._engine.graph.attach_site(
+            tuple(float(c) for c in point), face_id)
+        self._overlay_nodes[external] = node
+        self._maybe_rebuild()
+        return external
+
+    def delete(self, poi_id: int) -> None:
+        """Delete a POI; subsequent queries on it raise ``KeyError``."""
+        self._require_built()
+        if poi_id not in self._records or poi_id in self._deleted:
+            raise KeyError(f"unknown POI id: {poi_id}")
+        self._deleted.add(poi_id)
+        self._overlay.discard(poi_id)
+        self._overlay_nodes.pop(poi_id, None)
+        self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        pending = len(self._overlay) + len(self._deleted)
+        if pending > self.rebuild_factor * max(self.num_active, 1):
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, poi_a: int, poi_b: int) -> float:
+        """ε-approximate geodesic distance between two live POIs."""
+        self._require_built()
+        for poi_id in (poi_a, poi_b):
+            if poi_id not in self._records or poi_id in self._deleted:
+                raise KeyError(f"unknown or deleted POI id: {poi_id}")
+        if poi_a == poi_b:
+            return 0.0
+        in_overlay = (poi_a in self._overlay, poi_b in self._overlay)
+        if not any(in_overlay):
+            return self._oracle.query(self._base_index[poi_a],
+                                      self._base_index[poi_b])
+        # At least one endpoint is fresh: answer by (memoised) SSAD.
+        key = (min(poi_a, poi_b), max(poi_a, poi_b))
+        if key not in self._overlay_cache:
+            node_a = self._node_of(poi_a)
+            node_b = self._node_of(poi_b)
+            self._overlay_cache[key] = self._engine.node_distance(node_a,
+                                                                  node_b)
+        return self._overlay_cache[key]
+
+    def _node_of(self, poi_id: int) -> int:
+        if poi_id in self._overlay:
+            return self._overlay_nodes[poi_id]
+        return self._engine.poi_node(self._base_index[poi_id])
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("oracle not built; call build() first")

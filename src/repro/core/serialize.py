@@ -1,0 +1,150 @@
+"""Oracle persistence: save/build once, load and query many times.
+
+A distance oracle's whole point is amortising construction across many
+queries — which usually means across *processes* too.  This module
+serialises a built :class:`~repro.core.oracle.SEOracle` to a compact,
+versioned JSON document (and back) without pickling arbitrary objects:
+
+* the compressed partition tree (centres, layers, radii, parents);
+* the node pair set (ordered id pairs + distances);
+* the construction metadata (ε, strategy, seed, stats).
+
+The terrain/POI workload is *not* embedded — the loader receives the
+(cheap to rebuild or separately stored) :class:`~repro.geodesic.engine.
+GeodesicEngine` and re-attaches it, validating a workload fingerprint
+so an oracle cannot silently be loaded against the wrong terrain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Union
+
+from ..datastructures.perfect_hash import PerfectHashMap, pack_pair
+from ..geodesic.engine import GeodesicEngine
+from .compressed_tree import CompressedPartitionTree, CompressedTreeNode
+from .node_pairs import NodePairSet
+from .oracle import SEOracle
+
+__all__ = ["save_oracle", "load_oracle", "workload_fingerprint",
+           "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def workload_fingerprint(engine: GeodesicEngine) -> str:
+    """A stable hash of the terrain + POI workload an oracle belongs to."""
+    digest = hashlib.sha256()
+    mesh = engine.mesh
+    digest.update(mesh.vertices.tobytes())
+    digest.update(mesh.faces.tobytes())
+    digest.update(engine.pois.positions.tobytes())
+    digest.update(str(engine.graph.points_per_edge).encode())
+    return digest.hexdigest()[:16]
+
+
+def save_oracle(oracle: SEOracle, path: PathLike) -> None:
+    """Serialise a built oracle to ``path`` (JSON)."""
+    if not oracle.is_built:
+        raise ValueError("cannot save an unbuilt oracle")
+    tree = oracle.tree
+    document: Dict[str, Any] = {
+        "format": "repro-se-oracle",
+        "version": FORMAT_VERSION,
+        "epsilon": oracle.epsilon,
+        "strategy": oracle.strategy,
+        "method": oracle.method,
+        "seed": oracle.seed,
+        "fingerprint": workload_fingerprint(oracle.engine),
+        "tree": {
+            "root_id": tree.root_id,
+            "height": tree.height,
+            "root_radius": tree.root_radius,
+            "nodes": [
+                [node.node_id, node.center, node.layer, node.radius,
+                 -1 if node.parent is None else node.parent,
+                 node.origin_id]
+                for node in tree.nodes
+            ],
+        },
+        "pairs": [
+            [a, b, distance]
+            for (a, b), distance in oracle.pair_set.pairs.items()
+        ],
+        "stats": {
+            "height": oracle.stats.height,
+            "pairs_stored": oracle.stats.pairs_stored,
+            "total_seconds": oracle.stats.total_seconds,
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def load_oracle(path: PathLike, engine: GeodesicEngine,
+                strict: bool = True) -> SEOracle:
+    """Load an oracle saved by :func:`save_oracle`.
+
+    Parameters
+    ----------
+    path:
+        File produced by :func:`save_oracle`.
+    engine:
+        The workload the oracle was built for.  With ``strict`` the
+        stored fingerprint must match the engine's; pass
+        ``strict=False`` only when you know the workload is equivalent.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-se-oracle":
+        raise ValueError(f"{path}: not a serialized SE oracle")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {document.get('version')}"
+        )
+    if strict and document["fingerprint"] != workload_fingerprint(engine):
+        raise ValueError(
+            f"{path}: oracle was built for a different workload "
+            "(terrain / POIs / Steiner density mismatch)"
+        )
+
+    nodes = []
+    for node_id, center, layer, radius, parent, origin in \
+            document["tree"]["nodes"]:
+        nodes.append(CompressedTreeNode(
+            node_id=node_id, center=center, layer=layer, radius=radius,
+            parent=None if parent == -1 else parent, origin_id=origin,
+        ))
+    for node in nodes:
+        if node.parent is not None:
+            nodes[node.parent].children.append(node.node_id)
+    tree = CompressedPartitionTree(
+        nodes=nodes,
+        root_id=document["tree"]["root_id"],
+        height=document["tree"]["height"],
+        root_radius=document["tree"]["root_radius"],
+    )
+
+    pairs = {(a, b): distance for a, b, distance in document["pairs"]}
+    pair_set = NodePairSet(pairs=pairs, considered=len(pairs),
+                           epsilon=document["epsilon"])
+    pair_hash = PerfectHashMap(
+        [(pack_pair(a, b), distance) for (a, b), distance in pairs.items()],
+        seed=document["seed"],
+    )
+
+    oracle = SEOracle(engine, document["epsilon"],
+                      strategy=document["strategy"],
+                      method=document["method"], seed=document["seed"])
+    oracle._tree = tree
+    oracle._pair_set = pair_set
+    oracle._pair_hash = pair_hash
+    oracle._built = True
+    oracle.stats.height = document["stats"]["height"]
+    oracle.stats.pairs_stored = document["stats"]["pairs_stored"]
+    oracle.stats.total_seconds = document["stats"]["total_seconds"]
+    return oracle

@@ -1,0 +1,366 @@
+"""A B+-tree over integer/float keys with optional values.
+
+Section 3.2 (Implementation Detail 1) of the paper indexes "all point IDs
+in each cell ... in a B+-tree" for the greedy point-selection strategy,
+removing points as they get covered.  This module provides that substrate
+as a full, self-contained B+-tree: sorted keys in the leaves, leaf
+chaining for range scans, insertion with node splits and deletion with
+borrow/merge rebalancing.
+
+The tree maps keys to values (``insert(key, value)``); duplicate keys are
+rejected, mirroring the paper's use (point IDs are unique).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    """A B+-tree node; ``leaf`` nodes carry values, internal ones children."""
+
+    __slots__ = ("leaf", "keys", "children", "values", "next")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Any] = []
+        self.children: List["_Node"] = []  # internal nodes only
+        self.values: List[Any] = []  # leaf nodes only
+        self.next: Optional["_Node"] = None  # leaf chaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "Leaf" if self.leaf else "Node"
+        return f"<{kind} keys={self.keys}>"
+
+
+class BPlusTree:
+    """A B+-tree with order (fan-out) ``order``.
+
+    Internal nodes hold at most ``order`` children; leaves hold at most
+    ``order - 1`` keys.  Supports ``insert``, ``delete``, ``get``,
+    ``__contains__``, in-order iteration and ``range_search``.
+
+    Example
+    -------
+    >>> tree = BPlusTree(order=4)
+    >>> for key in [5, 1, 9, 3]:
+    ...     tree.insert(key, str(key))
+    >>> list(tree)
+    [1, 3, 5, 9]
+    >>> tree.range_search(2, 6)
+    [(3, '3'), (5, '5')]
+    """
+
+    def __init__(self, order: int = 16):
+        if order < 3:
+            raise ValueError("B+-tree order must be at least 3")
+        self._order = order
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        return key in leaf.keys
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield all keys in ascending order (via the leaf chain)."""
+        node = self._leftmost_leaf()
+        while node is not None:
+            yield from node.keys
+            node = node.next
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield all ``(key, value)`` pairs in ascending key order."""
+        node = self._leftmost_leaf()
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        leaf = self._find_leaf(key)
+        index = _bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def min_key(self) -> Any:
+        """Smallest key; raises ``KeyError`` on an empty tree."""
+        if not self._size:
+            raise KeyError("min_key on empty tree")
+        return self._leftmost_leaf().keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key; raises ``KeyError`` on an empty tree."""
+        if not self._size:
+            raise KeyError("max_key on empty tree")
+        node = self._root
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def range_search(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
+        """Return all ``(key, value)`` with ``low <= key <= high``."""
+        result: List[Tuple[Any, Any]] = []
+        node = self._find_leaf(low)
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                if key > high:
+                    return result
+                if key >= low:
+                    result.append((key, value))
+            node = node.next
+        return result
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` with ``value``; raises ``KeyError`` on duplicates."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any):
+        if node.leaf:
+            index = _bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                raise KeyError(f"duplicate key: {key!r}")
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            if len(node.keys) >= self._order:
+                return self._split_leaf(node)
+            return None
+        index = _child_index(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: Any) -> Any:
+        """Remove ``key``; returns its value.  Raises ``KeyError`` if absent."""
+        value = self._delete(self._root, key)
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return value
+
+    def _min_keys(self, node: _Node) -> int:
+        if node is self._root:
+            return 1 if node.leaf else 0
+        if node.leaf:
+            return (self._order - 1) // 2
+        return (self._order + 1) // 2 - 1  # min children - 1
+
+    def _delete(self, node: _Node, key: Any) -> Any:
+        if node.leaf:
+            index = _bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                raise KeyError(f"key not found: {key!r}")
+            node.keys.pop(index)
+            return node.values.pop(index)
+        index = _child_index(node.keys, key)
+        child = node.children[index]
+        value = self._delete(child, key)
+        if self._deficient(child):
+            self._rebalance(node, index)
+        return value
+
+    def _deficient(self, node: _Node) -> bool:
+        if node is self._root:
+            return False
+        if node.leaf:
+            return len(node.keys) < (self._order - 1) // 2
+        return len(node.children) < (self._order + 1) // 2
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+
+        if left is not None and self._can_lend(left):
+            self._borrow_from_left(parent, index, left, child)
+        elif right is not None and self._can_lend(right):
+            self._borrow_from_right(parent, index, child, right)
+        elif left is not None:
+            self._merge(parent, index - 1, left, child)
+        else:
+            assert right is not None
+            self._merge(parent, index, child, right)
+
+    def _can_lend(self, node: _Node) -> bool:
+        if node.leaf:
+            return len(node.keys) > (self._order - 1) // 2
+        return len(node.children) > (self._order + 1) // 2
+
+    def _borrow_from_left(self, parent, index, left, child) -> None:
+        if child.leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent, index, child, right) -> None:
+        if child.leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent, sep_index, left, right) -> None:
+        """Merge ``right`` into ``left``; both are children of ``parent``."""
+        if left.leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[sep_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(sep_index)
+        parent.children.pop(sep_index + 1)
+
+    # ------------------------------------------------------------------
+    # internals / diagnostics
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[_child_index(node.keys, key)]
+        return node
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (for tests)."""
+        keys = list(self)
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(keys) == self._size, "size out of sync"
+        assert len(set(keys)) == len(keys), "duplicate keys"
+        self._check_node(self._root, None, None, depth=0,
+                         leaf_depth=[None])
+
+    def _check_node(self, node, low, high, depth, leaf_depth) -> None:
+        for key in node.keys:
+            if low is not None:
+                assert key >= low, "key below subtree lower bound"
+            if high is not None:
+                assert key < high or node.leaf and key <= high, (
+                    "key above subtree upper bound"
+                )
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        if node.leaf:
+            assert len(node.keys) == len(node.values)
+            if leaf_depth[0] is None:
+                leaf_depth[0] = depth
+            assert leaf_depth[0] == depth, "leaves at unequal depths"
+            if node is not self._root:
+                assert len(node.keys) >= (self._order - 1) // 2, "leaf underflow"
+            return
+        assert len(node.children) == len(node.keys) + 1
+        if node is not self._root:
+            assert len(node.children) >= (self._order + 1) // 2, "node underflow"
+        assert len(node.children) <= self._order, "node overflow"
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            self._check_node(child, bounds[i], bounds[i + 1],
+                             depth + 1, leaf_depth)
+
+
+def _bisect_left(keys: List[Any], key: Any) -> int:
+    """Leftmost index where ``key`` could be inserted keeping order."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _child_index(keys: List[Any], key: Any) -> int:
+    """Index of the child subtree responsible for ``key``.
+
+    Keys equal to a separator go to the right child, matching the leaf
+    split rule (separator equals the first key of the right leaf).
+    """
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if key < keys[mid]:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,147 @@
+"""Grid density index backing the greedy point-selection strategy.
+
+Implementation Detail 1 of Section 3.2: for Layer ``i`` the greedy
+strategy builds "a grid on the x-y plane with the cell width equal to
+O(r0 / 2^i)", inserts the uncovered points into cells, indexes "all
+point IDs in each cell in a B+-tree" and keeps "a max-heap containing
+all non-empty cells whose keys are the sizes of their B+-trees".
+Selecting a point means popping the densest cell and picking a point
+from it; covering a point decrements its cell's key (and drops empty
+cells from the heap).
+
+This module wires those three substrates (:class:`~repro.datastructures.
+bplustree.BPlusTree`, :class:`~repro.datastructures.binheap.
+IndexedMaxHeap`) together behind a small API used by the tree builder.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, Optional, Tuple
+
+from .binheap import IndexedMaxHeap
+from .bplustree import BPlusTree
+
+__all__ = ["GridDensityIndex"]
+
+Cell = Tuple[int, int]
+
+
+class GridDensityIndex:
+    """Uniform x-y grid over point ids with density-ordered cell access.
+
+    Parameters
+    ----------
+    points:
+        ``{point_id: (x, y)}`` planar coordinates of the points to index.
+    cell_width:
+        Grid cell width; the paper uses ``O(r0 / 2^i)`` for Layer ``i``.
+    rng:
+        Source of randomness for picking a point within the densest cell.
+    btree_order:
+        Fan-out of the per-cell B+-trees.
+    """
+
+    def __init__(
+        self,
+        points: Dict[int, Tuple[float, float]],
+        cell_width: float,
+        rng: Optional[random.Random] = None,
+        btree_order: int = 16,
+    ):
+        if cell_width <= 0 or not math.isfinite(cell_width):
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        self._width = cell_width
+        self._rng = rng if rng is not None else random.Random(0)
+        self._btree_order = btree_order
+        self._cells: Dict[Cell, BPlusTree] = {}
+        self._cell_of: Dict[int, Cell] = {}
+        self._heap = IndexedMaxHeap()
+        for point_id, (x, y) in points.items():
+            self.insert(point_id, x, y)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cell_of)
+
+    def __bool__(self) -> bool:
+        return bool(self._cell_of)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._cell_of
+
+    @property
+    def cell_width(self) -> float:
+        return self._width
+
+    def cell_of(self, x: float, y: float) -> Cell:
+        """Grid cell containing planar coordinate ``(x, y)``."""
+        return (math.floor(x / self._width), math.floor(y / self._width))
+
+    def non_empty_cells(self) -> int:
+        return len(self._cells)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, point_id: int, x: float, y: float) -> None:
+        """Insert a point; raises ``ValueError`` on duplicate ids."""
+        if point_id in self._cell_of:
+            raise ValueError(f"duplicate point id: {point_id}")
+        cell = self.cell_of(x, y)
+        tree = self._cells.get(cell)
+        if tree is None:
+            tree = BPlusTree(order=self._btree_order)
+            self._cells[cell] = tree
+        tree.insert(point_id)
+        self._cell_of[point_id] = cell
+        self._heap.push_or_update(cell, len(tree))
+
+    def remove(self, point_id: int) -> None:
+        """Remove a covered point, decrementing its cell's heap key."""
+        cell = self._cell_of.pop(point_id)
+        tree = self._cells[cell]
+        tree.delete(point_id)
+        if tree:
+            self._heap.update_key(cell, len(tree))
+        else:
+            del self._cells[cell]
+            self._heap.remove(cell)
+
+    def remove_all(self, point_ids: Iterable[int]) -> None:
+        """Remove every id in ``point_ids`` that is still present."""
+        for point_id in point_ids:
+            if point_id in self._cell_of:
+                self.remove(point_id)
+
+    # ------------------------------------------------------------------
+    # greedy selection
+    # ------------------------------------------------------------------
+    def densest_cell(self) -> Cell:
+        """Cell currently containing the most points."""
+        cell, _ = self._heap.peek()
+        return cell
+
+    def pick_from_densest(self) -> int:
+        """Return a random point id from the densest cell (not removed)."""
+        if not self._cell_of:
+            raise IndexError("pick from empty index")
+        cell = self.densest_cell()
+        ids = list(self._cells[cell])
+        return ids[self._rng.randrange(len(ids))]
+
+    def check_invariants(self) -> None:
+        """Assert cross-structure consistency (for tests)."""
+        total = 0
+        for cell, tree in self._cells.items():
+            tree.check_invariants()
+            assert len(tree) > 0, "empty cell retained"
+            assert self._heap.key_of(cell) == len(tree), "heap key stale"
+            total += len(tree)
+        assert total == len(self._cell_of), "point count out of sync"
+        for point_id, cell in self._cell_of.items():
+            assert point_id in self._cells[cell], "cell map stale"
+        self._heap.check_invariants()

@@ -1,0 +1,195 @@
+"""FKS-style two-level perfect hashing for static key sets.
+
+Section 3.3 of the paper indexes the node pair set with "the perfect
+hashing scheme [7]" so that membership and the associated distance are
+retrieved in O(1) worst-case time, with linear expected construction
+time and linear space.  This module implements the classic
+Fredman-Komlós-Szemerédi construction:
+
+* level one hashes the ``n`` keys into ``n`` buckets with a random
+  universal hash ``h(x) = ((a*x + b) mod p) mod n``;
+* each bucket with ``b_i`` keys gets its own collision-free table of
+  size ``b_i**2``, re-drawing its hash parameters until injective.
+
+Keys are non-negative integers.  Node pairs ``(u, v)`` are packed into a
+single integer before hashing (see :func:`pack_pair`).  A thin
+dict-like wrapper :class:`PerfectHashMap` stores an arbitrary value per
+key.
+
+Construction is randomized but deterministic given ``seed``; the
+expected total secondary-table size is < 2n (Σ b_i² concentration), so
+we retry level one if an unlucky draw exceeds 4n.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["PerfectHashMap", "pack_pair", "unpack_pair"]
+
+# A Mersenne prime comfortably above any packed key we produce.
+_PRIME = (1 << 61) - 1
+
+_PAIR_SHIFT = 32
+_PAIR_MASK = (1 << _PAIR_SHIFT) - 1
+
+
+def pack_pair(u: int, v: int) -> int:
+    """Pack an ordered id pair into one integer key.
+
+    Ids must fit in 32 bits, which comfortably covers every node id the
+    oracle produces (node counts are O(n h)).
+    """
+    if not (0 <= u <= _PAIR_MASK and 0 <= v <= _PAIR_MASK):
+        raise ValueError(f"pair ids out of range: ({u}, {v})")
+    return (u << _PAIR_SHIFT) | v
+
+
+def unpack_pair(key: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_pair`."""
+    return key >> _PAIR_SHIFT, key & _PAIR_MASK
+
+
+class _Bucket:
+    """Second-level table: collision-free within the bucket."""
+
+    __slots__ = ("a", "b", "size", "slots")
+
+    def __init__(self, a: int, b: int, size: int, slots: List[int]):
+        self.a = a
+        self.b = b
+        self.size = size
+        self.slots = slots  # slot -> index into the key/value arrays, or -1
+
+    def locate(self, key: int) -> int:
+        slot = ((self.a * key + self.b) % _PRIME) % self.size
+        return self.slots[slot]
+
+
+class PerfectHashMap:
+    """A static map with O(1) worst-case lookups via FKS perfect hashing.
+
+    Parameters
+    ----------
+    items:
+        Iterable of ``(key, value)`` with distinct non-negative int keys.
+    seed:
+        Seed for the (re-drawable) universal hash parameters.
+
+    Example
+    -------
+    >>> table = PerfectHashMap([(10, "x"), (99, "y")])
+    >>> table[10]
+    'x'
+    >>> 7 in table
+    False
+    """
+
+    _MAX_LEVEL1_RETRIES = 32
+    _MAX_BUCKET_RETRIES = 256
+
+    def __init__(self, items: Iterable[Tuple[int, Any]], seed: int = 0):
+        pairs = list(items)
+        self._keys: List[int] = [key for key, _ in pairs]
+        self._values: List[Any] = [value for _, value in pairs]
+        if len(set(self._keys)) != len(self._keys):
+            raise ValueError("duplicate keys in PerfectHashMap")
+        if any(key < 0 for key in self._keys):
+            raise ValueError("keys must be non-negative integers")
+        self._n = len(self._keys)
+        self._rng = random.Random(seed)
+        self._buckets: List[Optional[_Bucket]] = []
+        self._a = 1
+        self._b = 0
+        if self._n:
+            self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _draw(self) -> Tuple[int, int]:
+        return self._rng.randrange(1, _PRIME), self._rng.randrange(0, _PRIME)
+
+    def _build(self) -> None:
+        n = self._n
+        for _ in range(self._MAX_LEVEL1_RETRIES):
+            self._a, self._b = self._draw()
+            groups: Dict[int, List[int]] = {}
+            for index, key in enumerate(self._keys):
+                bucket_id = ((self._a * key + self._b) % _PRIME) % n
+                groups.setdefault(bucket_id, []).append(index)
+            total = sum(len(group) ** 2 for group in groups.values())
+            if total <= 4 * n:
+                break
+        else:  # pragma: no cover - astronomically unlikely
+            raise RuntimeError("perfect hash level-1 failed to converge")
+
+        self._buckets = [None] * n
+        for bucket_id, indices in groups.items():
+            self._buckets[bucket_id] = self._build_bucket(indices)
+
+    def _build_bucket(self, indices: Sequence[int]) -> _Bucket:
+        size = max(1, len(indices) ** 2)
+        for _ in range(self._MAX_BUCKET_RETRIES):
+            a, b = self._draw()
+            slots = [-1] * size
+            ok = True
+            for index in indices:
+                slot = ((a * self._keys[index] + b) % _PRIME) % size
+                if slots[slot] != -1:
+                    ok = False
+                    break
+                slots[slot] = index
+            if ok:
+                return _Bucket(a, b, size, slots)
+        raise RuntimeError(  # pragma: no cover - astronomically unlikely
+            "perfect hash bucket failed to converge"
+        )
+
+    # ------------------------------------------------------------------
+    # lookup protocol
+    # ------------------------------------------------------------------
+    def _locate(self, key: int) -> int:
+        if self._n == 0 or key < 0:
+            return -1
+        bucket = self._buckets[((self._a * key + self._b) % _PRIME) % self._n]
+        if bucket is None:
+            return -1
+        index = bucket.locate(key)
+        if index != -1 and self._keys[index] == key:
+            return index
+        return -1
+
+    def __contains__(self, key: int) -> bool:
+        return self._locate(key) != -1
+
+    def __getitem__(self, key: int) -> Any:
+        index = self._locate(key)
+        if index == -1:
+            raise KeyError(key)
+        return self._values[index]
+
+    def get(self, key: int, default: Any = None) -> Any:
+        index = self._locate(key)
+        return self._values[index] if index != -1 else default
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return iter(zip(self._keys, self._values))
+
+    # ------------------------------------------------------------------
+    # size accounting (for the oracle's size model)
+    # ------------------------------------------------------------------
+    def slot_count(self) -> int:
+        """Total number of second-level slots (the FKS space bound)."""
+        return sum(bucket.size for bucket in self._buckets if bucket is not None)
+
+    def size_bytes(self, value_bytes: int = 8) -> int:
+        """Deterministic byte-count model: 8 bytes per slot/key + values."""
+        return 8 * self.slot_count() + (8 + value_bytes) * self._n

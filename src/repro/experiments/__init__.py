@@ -1,0 +1,53 @@
+"""Experiment harness: datasets, measurement protocol, figure runners."""
+
+from .datasets import DATASET_NAMES, SCALES, Dataset, load_dataset
+from .figures import (
+    EPSILON_SWEEP,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+)
+from .harness import (
+    MethodResult,
+    P2P_METHODS,
+    generate_a2a_pairs,
+    generate_query_pairs,
+    run_a2a_experiment,
+    run_p2p_experiment,
+)
+from .reporting import format_result_row, format_series_table
+from .tables import (
+    table1_complexity_probes,
+    table2_dataset_statistics,
+    table3_query_distances,
+)
+
+__all__ = [
+    "Dataset",
+    "load_dataset",
+    "DATASET_NAMES",
+    "SCALES",
+    "MethodResult",
+    "P2P_METHODS",
+    "generate_query_pairs",
+    "generate_a2a_pairs",
+    "run_p2p_experiment",
+    "run_a2a_experiment",
+    "format_result_row",
+    "format_series_table",
+    "EPSILON_SWEEP",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "table1_complexity_probes",
+    "table2_dataset_statistics",
+    "table3_query_distances",
+]

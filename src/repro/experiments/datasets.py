@@ -1,0 +1,119 @@
+"""Dataset registry: laptop-scale analogues of BH / EP / SF (Table 2).
+
+The paper's terrains (BearHead, EaglePeak, San Francisco South) are
+DEM downloads we cannot redistribute; per DESIGN.md substitution 2 we
+generate fractal terrains with the same *relative* shape — planar
+extents and POI-to-vertex ratios follow Table 2, while absolute vertex
+counts are scaled down to what pure Python can sweep (the paper's own
+"smaller version of SF" with 1k vertices and 60 POIs is reproduced at
+full scale).
+
+Every dataset is deterministic given its name and scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Tuple
+
+from ..terrain.generation import make_terrain
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POISet, sample_clustered
+
+__all__ = ["Dataset", "load_dataset", "DATASET_NAMES", "SCALES"]
+
+Scale = Literal["tiny", "small", "bench", "large"]
+
+SCALES: Tuple[str, ...] = ("tiny", "small", "bench", "large")
+
+# name -> (extent_km_x, extent_km_y, relief_m, roughness, seed)
+_SHAPES: Dict[str, Tuple[float, float, float, float, int]] = {
+    # BearHead: 14km x 10km, mountainous (Table 2).
+    "bearhead": (14.0, 10.0, 1200.0, 0.60, 101),
+    # EaglePeak: 10.7km x 14km, alpine.
+    "eaglepeak": (10.7, 14.0, 1500.0, 0.65, 202),
+    # San Francisco South: 14km x 11.1km, gentler coastal hills.
+    "sf": (14.0, 11.1, 500.0, 0.45, 303),
+    # The paper's smaller SF sub-region: 1k vertices, 60 POIs.
+    "sf-small": (2.0, 2.0, 120.0, 0.45, 304),
+}
+
+# scale -> (grid_exponent, poi_count) per dataset.
+_SIZES: Dict[str, Dict[str, Tuple[int, int]]] = {
+    "tiny": {
+        "bearhead": (3, 16), "eaglepeak": (3, 16),
+        "sf": (3, 24), "sf-small": (3, 12),
+    },
+    "small": {
+        "bearhead": (4, 40), "eaglepeak": (4, 40),
+        "sf": (4, 60), "sf-small": (4, 30),
+    },
+    "bench": {
+        # sf-small stays small because Figure 8 runs SE-Naive and
+        # SP-Oracle on it (the paper used its small SF for the same
+        # reason: SE-Naive "is not feasible on any of the full datasets").
+        "bearhead": (5, 60), "eaglepeak": (5, 60),
+        "sf": (5, 90), "sf-small": (4, 60),
+    },
+    "large": {
+        "bearhead": (6, 120), "eaglepeak": (6, 120),
+        "sf": (6, 200), "sf-small": (5, 60),
+    },
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(_SHAPES)
+
+
+@dataclass
+class Dataset:
+    """A terrain + POI workload with its provenance."""
+
+    name: str
+    scale: str
+    mesh: TriangleMesh
+    pois: POISet
+    paper_vertices: str
+    paper_pois: str
+
+    @property
+    def num_vertices(self) -> int:
+        return self.mesh.num_vertices
+
+    @property
+    def num_pois(self) -> int:
+        return len(self.pois)
+
+
+_PAPER_ROWS = {
+    "bearhead": ("1.4M", "4k"),
+    "eaglepeak": ("1.5M", "4k"),
+    "sf": ("170k", "51k"),
+    "sf-small": ("1k", "60"),
+}
+
+
+def load_dataset(name: str, scale: Scale = "bench") -> Dataset:
+    """Build a named dataset analogue at the requested scale.
+
+    Parameters
+    ----------
+    name:
+        One of ``bearhead``, ``eaglepeak``, ``sf``, ``sf-small``.
+    scale:
+        ``tiny`` (unit tests), ``bench`` (benchmarks) or ``large``.
+    """
+    key = name.lower()
+    if key not in _SHAPES:
+        raise KeyError(f"unknown dataset {name!r}; choose from "
+                       f"{sorted(_SHAPES)}")
+    if scale not in _SIZES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {SCALES}")
+    extent_x, extent_y, relief, roughness, seed = _SHAPES[key]
+    exponent, poi_count = _SIZES[scale][key]
+    mesh = make_terrain(grid_exponent=exponent,
+                        extent=(extent_x * 1000.0, extent_y * 1000.0),
+                        relief=relief, roughness=roughness, seed=seed)
+    pois = sample_clustered(mesh, poi_count, seed=seed + 1)
+    paper_vertices, paper_pois = _PAPER_ROWS[key]
+    return Dataset(name=key, scale=scale, mesh=mesh, pois=pois,
+                   paper_vertices=paper_vertices, paper_pois=paper_pois)

@@ -1,0 +1,68 @@
+"""Plain-text reporting of experiment series (the paper's figures).
+
+Each figure in the paper is a family of series (one per method) over a
+swept parameter, with panels for building time, oracle size, query time
+and error.  :func:`format_series_table` renders exactly those panels as
+aligned text tables so a benchmark run reads like the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .harness import MethodResult
+
+__all__ = ["format_series_table", "format_result_row", "SeriesData"]
+
+# sweep value -> list of per-method results
+SeriesData = Dict[str, List[MethodResult]]
+
+
+def format_result_row(result: MethodResult) -> str:
+    """One-line summary of a single method measurement."""
+    return (f"{result.method:<12} build {result.build_seconds:8.3f}s  "
+            f"size {result.size_mb:9.4f}MB  "
+            f"query {result.query_ms:9.4f}ms  "
+            f"err mean {result.errors.mean:.4f} max {result.errors.max:.4f}")
+
+
+def format_series_table(title: str, sweep_name: str,
+                        series: SeriesData) -> str:
+    """Render the four panels (build / size / query / error) as text.
+
+    ``series`` maps the sweep value (as string) to the method results
+    measured at that value; methods are taken from the first row.
+    """
+    if not series:
+        raise ValueError("empty series")
+    sweep_values = list(series)
+    methods = [result.method for result in series[sweep_values[0]]]
+
+    def panel(header: str, cell) -> str:
+        width = max(12, *(len(m) + 2 for m in methods))
+        lines = [header]
+        head = f"{sweep_name:>10} |" + "".join(
+            f"{m:>{width}}" for m in methods)
+        lines.append(head)
+        lines.append("-" * len(head))
+        for value in sweep_values:
+            row = f"{value:>10} |"
+            by_method = {r.method: r for r in series[value]}
+            for method in methods:
+                result = by_method.get(method)
+                row += f"{cell(result):>{width}}" if result else " " * width
+            lines.append(row)
+        return "\n".join(lines)
+
+    blocks = [
+        f"== {title} ==",
+        panel("(a) Building time (s)",
+              lambda r: f"{r.build_seconds:.3f}"),
+        panel("(b) Oracle size (MB)",
+              lambda r: f"{r.size_mb:.4f}"),
+        panel("(c) Query time (ms)",
+              lambda r: f"{r.query_ms:.4f}"),
+        panel("(d) Error (mean relative)",
+              lambda r: f"{r.errors.mean:.4f}"),
+    ]
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,26 @@
+"""Geodesic substrate: Steiner graphs and SSAD shortest-path search."""
+
+from .dijkstra import DijkstraResult, bidirectional_distance, dijkstra
+from .engine import GeodesicEngine
+from .graph import GeodesicGraph
+from .steiner import SteinerPlacement, place_steiner_points
+from .weights import (
+    ElevationGainWeight,
+    SlopePenaltyWeight,
+    WeightFunction,
+    euclidean_weight,
+)
+
+__all__ = [
+    "WeightFunction",
+    "euclidean_weight",
+    "SlopePenaltyWeight",
+    "ElevationGainWeight",
+    "DijkstraResult",
+    "bidirectional_distance",
+    "dijkstra",
+    "GeodesicEngine",
+    "GeodesicGraph",
+    "SteinerPlacement",
+    "place_steiner_points",
+]

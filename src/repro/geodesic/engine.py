@@ -1,0 +1,184 @@
+"""High-level geodesic engine: the SSAD service used by the oracle.
+
+``GeodesicEngine`` binds a terrain mesh, a Steiner density and a POI
+set into one object exposing exactly the operations the paper's
+algorithms need:
+
+* :meth:`distances_from_poi` — the two SSAD variants (cover-all /
+  radius-bounded) returning geodesic distances *to POIs*;
+* :meth:`distance` — a single P2P geodesic distance (ground truth for
+  error measurement, and the naive construction's workhorse);
+* :meth:`shortest_path` — path reconstruction for examples;
+* transient attachment of arbitrary surface points (A2A queries).
+
+The engine also counts SSAD invocations and settled nodes, which the
+benchmark harness reports as construction-effort metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POISet
+from .dijkstra import DijkstraResult, dijkstra
+from .graph import GeodesicGraph
+
+__all__ = ["GeodesicEngine"]
+
+
+class GeodesicEngine:
+    """Geodesic distance service over a terrain and its POI set.
+
+    Parameters
+    ----------
+    mesh:
+        Terrain surface.
+    pois:
+        The POI set ``P``; may be empty for pure vertex workloads.
+    points_per_edge:
+        Steiner density of the underlying graph (0 = vertex graph).
+    """
+
+    def __init__(self, mesh: TriangleMesh, pois: POISet,
+                 points_per_edge: int = 2, weight_fn=None):
+        self._mesh = mesh
+        self._pois = pois
+        self._graph = GeodesicGraph(mesh, points_per_edge,
+                                    weight_fn=weight_fn)
+        self._poi_nodes: List[int] = self._graph.attach_pois(pois)
+        self._node_to_poi: Dict[int, int] = {}
+        for poi_index, node in enumerate(self._poi_nodes):
+            # A vertex node can host at most one POI after dedup.
+            self._node_to_poi[node] = poi_index
+        self.ssad_calls = 0
+        self.settled_nodes = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def mesh(self) -> TriangleMesh:
+        return self._mesh
+
+    @property
+    def pois(self) -> POISet:
+        return self._pois
+
+    @property
+    def graph(self) -> GeodesicGraph:
+        return self._graph
+
+    @property
+    def num_pois(self) -> int:
+        return len(self._pois)
+
+    def poi_node(self, poi_index: int) -> int:
+        """Graph node id hosting POI ``poi_index``."""
+        return self._poi_nodes[poi_index]
+
+    def reset_counters(self) -> None:
+        self.ssad_calls = 0
+        self.settled_nodes = 0
+
+    # ------------------------------------------------------------------
+    # SSAD variants (Implementation Detail 2)
+    # ------------------------------------------------------------------
+    def distances_from_poi(self, poi_index: int,
+                           radius: Optional[float] = None
+                           ) -> Dict[int, float]:
+        """Geodesic distances from a POI to other POIs.
+
+        With ``radius`` set this is the paper's SSAD *version 2*: the
+        search stops once the frontier passes ``radius`` and only POIs
+        within the radius appear in the result.  Without it this is
+        *version 1*: the search runs until every POI is settled.
+        """
+        source = self._poi_nodes[poi_index]
+        if radius is None:
+            result = dijkstra(self._graph.adjacency, source,
+                              targets=self._poi_nodes)
+        else:
+            result = dijkstra(self._graph.adjacency, source, radius=radius)
+        self._account(result)
+        distances: Dict[int, float] = {}
+        for node, dist in result.distances.items():
+            poi = self._node_to_poi.get(node)
+            if poi is not None:
+                distances[poi] = dist
+        return distances
+
+    def distances_from_node(self, node: int,
+                            radius: Optional[float] = None,
+                            targets: Optional[Sequence[int]] = None
+                            ) -> DijkstraResult:
+        """Raw node-level SSAD (used by the A2A oracle over Steiner sites)."""
+        result = dijkstra(self._graph.adjacency, node, radius=radius,
+                          targets=targets)
+        self._account(result)
+        return result
+
+    def distance(self, poi_a: int, poi_b: int) -> float:
+        """Geodesic distance between two POIs (early-exit search)."""
+        if poi_a == poi_b:
+            return 0.0
+        source = self._poi_nodes[poi_a]
+        target = self._poi_nodes[poi_b]
+        result = dijkstra(self._graph.adjacency, source,
+                          single_target=target)
+        self._account(result)
+        return result.distances.get(target, math.inf)
+
+    def shortest_path(self, poi_a: int, poi_b: int
+                      ) -> Tuple[float, np.ndarray]:
+        """Distance and polyline of the geodesic path between two POIs."""
+        source = self._poi_nodes[poi_a]
+        target = self._poi_nodes[poi_b]
+        result = dijkstra(self._graph.adjacency, source,
+                          single_target=target, return_parents=True)
+        self._account(result)
+        if target not in result.distances:
+            return math.inf, np.zeros((0, 3))
+        nodes = result.path_to(target)
+        points = np.asarray([self._graph.position(n) for n in nodes])
+        return result.distances[target], points
+
+    # ------------------------------------------------------------------
+    # arbitrary surface points (A2A support)
+    # ------------------------------------------------------------------
+    def attach_point(self, x: float, y: float) -> int:
+        """Attach the surface point above planar ``(x, y)``; returns node id.
+
+        Raises ``ValueError`` when ``(x, y)`` is outside the terrain.
+        Attachments must be detached LIFO via :meth:`detach_points`.
+        """
+        face_id = self._mesh.locate_face(x, y)
+        if face_id < 0:
+            raise ValueError(f"({x}, {y}) is outside the terrain")
+        weights = self._mesh.barycentric_weights(face_id, x, y)
+        corners = self._mesh.vertices[self._mesh.faces[face_id]]
+        position = weights @ corners
+        return self._graph.attach_site(tuple(position), face_id)
+
+    def detach_points(self, count: int) -> None:
+        """Detach the ``count`` most recently attached points."""
+        self._graph.detach_last_sites(count)
+
+    def node_distance(self, node_a: int, node_b: int) -> float:
+        """Geodesic distance between two raw graph nodes."""
+        if node_a == node_b:
+            return 0.0
+        result = dijkstra(self._graph.adjacency, node_a,
+                          single_target=node_b)
+        self._account(result)
+        return result.distances.get(node_b, math.inf)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _account(self, result: DijkstraResult) -> None:
+        self.ssad_calls += 1
+        self.settled_nodes += result.settled_count

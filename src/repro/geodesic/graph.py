@@ -1,0 +1,239 @@
+"""The geodesic graph: terrain vertices + Steiner points + attached sites.
+
+``GeodesicGraph`` is the weighted graph on which every shortest-path
+computation in this repository runs.  Its nodes are:
+
+* the mesh vertices (ids ``0 .. N-1``),
+* the Steiner points (ids ``N .. N+S-1``),
+* dynamically *attached sites* — POIs or arbitrary query points —
+  appended after construction (ids ``N+S ..``).
+
+Within every face, all nodes on the face boundary (3 corners plus the
+Steiner points of its 3 edges) form a clique weighted by 3D Euclidean
+distance; consecutive nodes along each edge are chained as well.  A
+shortest path in this graph corresponds to a path on the surface that
+crosses faces through boundary points, the classic ε-approximation of
+the geodesic metric (see :mod:`repro.geodesic.steiner`).
+
+Attached sites connect to every boundary node of their containing face
+(and to other sites on the same face), which is how the paper's SSAD
+handles POIs: "all points in P on each face expanded together with the
+vertex are computed with their geodesic distances".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POISet
+from .steiner import place_steiner_points
+
+__all__ = ["GeodesicGraph"]
+
+
+class GeodesicGraph:
+    """Weighted graph approximating the geodesic metric of a terrain.
+
+    Parameters
+    ----------
+    mesh:
+        The terrain surface.
+    points_per_edge:
+        Steiner density; 0 gives the bare vertex graph.
+
+    Notes
+    -----
+    The adjacency is stored as parallel lists (``neighbors[u]`` /
+    ``weights[u]``), grown in place when sites are attached.  The graph
+    never removes nodes; callers that need a transient attachment (the
+    A2A query path) use :meth:`attach_site` + :meth:`detach_last_sites`.
+    """
+
+    def __init__(self, mesh: TriangleMesh, points_per_edge: int = 2,
+                 weight_fn: Optional[Callable] = None):
+        self._mesh = mesh
+        self._weight_fn = weight_fn
+        self._placement = place_steiner_points(mesh, points_per_edge)
+        self._num_vertices = mesh.num_vertices
+        self._num_steiner = self._placement.count
+        base = self._num_vertices + self._num_steiner
+        self._positions: List[np.ndarray] = [
+            mesh.vertices[i] for i in range(self._num_vertices)
+        ]
+        self._positions.extend(self._placement.positions)
+        self._neighbors: List[List[int]] = [[] for _ in range(base)]
+        self._weights: List[List[float]] = [[] for _ in range(base)]
+        self._face_boundary: List[List[int]] = []
+        self._sites_by_face: Dict[int, List[int]] = {}
+        self._num_edges = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        mesh = self._mesh
+        offset = self._num_vertices
+        edge_nodes: Dict[Tuple[int, int], List[int]] = {}
+        for edge in mesh.edges:
+            chain = [edge[0]]
+            chain.extend(offset + p for p in
+                         self._placement.edge_points.get(edge, []))
+            chain.append(edge[1])
+            edge_nodes[edge] = chain
+
+        seen: set = set()
+
+        def add_edge(u: int, v: int) -> None:
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                return
+            seen.add(key)
+            weight = self._distance(u, v)
+            if math.isinf(weight):
+                return  # weight models may delete impassable edges
+            self._neighbors[u].append(v)
+            self._weights[u].append(weight)
+            self._neighbors[v].append(u)
+            self._weights[v].append(weight)
+            self._num_edges += 1
+
+        for face_id, (a, b, c) in enumerate(mesh.faces):
+            boundary: List[int] = []
+            for u, v in ((a, b), (b, c), (a, c)):
+                key = (int(u), int(v)) if u < v else (int(v), int(u))
+                boundary.extend(edge_nodes[key])
+            boundary = sorted(set(boundary))
+            self._face_boundary.append(boundary)
+            for i, u in enumerate(boundary):
+                for v in boundary[i + 1:]:
+                    add_edge(u, v)
+
+    def _distance(self, u: int, v: int) -> float:
+        if self._weight_fn is not None:
+            return float(self._weight_fn(self._positions[u],
+                                         self._positions[v]))
+        delta = self._positions[u] - self._positions[v]
+        return float(math.sqrt(float(delta @ delta)))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def mesh(self) -> TriangleMesh:
+        return self._mesh
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._positions)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """Terrain vertex count (node ids below this are mesh vertices)."""
+        return self._num_vertices
+
+    @property
+    def num_steiner(self) -> int:
+        return self._num_steiner
+
+    @property
+    def points_per_edge(self) -> int:
+        return self._placement.points_per_edge
+
+    def position(self, node: int) -> np.ndarray:
+        return self._positions[node]
+
+    def neighbors(self, node: int) -> Tuple[List[int], List[float]]:
+        return self._neighbors[node], self._weights[node]
+
+    @property
+    def adjacency(self) -> Tuple[List[List[int]], List[List[float]]]:
+        """Raw adjacency (used by the Dijkstra kernel)."""
+        return self._neighbors, self._weights
+
+    def steiner_nodes(self) -> range:
+        """Node ids of the Steiner points."""
+        return range(self._num_vertices, self._num_vertices + self._num_steiner)
+
+    def face_boundary_nodes(self, face_id: int) -> List[int]:
+        """Corner + Steiner nodes on the boundary of ``face_id``."""
+        return self._face_boundary[face_id]
+
+    def size_bytes(self) -> int:
+        """Byte-count model: 8 bytes per node coordinate triple member,
+        16 per directed adjacency entry (id + weight)."""
+        return 24 * self.num_nodes + 16 * 2 * self._num_edges
+
+    # ------------------------------------------------------------------
+    # site attachment
+    # ------------------------------------------------------------------
+    def attach_site(self, position: Sequence[float], face_id: int,
+                    vertex_id: Optional[int] = None) -> int:
+        """Attach a surface point as a graph node; returns its node id.
+
+        Points coinciding with a mesh vertex reuse the vertex node (no
+        new node is created).  Otherwise the new node connects to every
+        boundary node of its face and to previously attached sites on
+        the same face.
+        """
+        if vertex_id is not None:
+            return int(vertex_id)
+        node = len(self._positions)
+        position = np.asarray(position, dtype=float)
+        self._positions.append(position)
+        self._neighbors.append([])
+        self._weights.append([])
+        targets = list(self._face_boundary[face_id])
+        targets.extend(self._sites_by_face.get(face_id, []))
+        for other in targets:
+            weight = self._distance(node, other)
+            if math.isinf(weight):
+                continue
+            self._neighbors[node].append(other)
+            self._weights[node].append(weight)
+            self._neighbors[other].append(node)
+            self._weights[other].append(weight)
+            self._num_edges += 1
+        self._sites_by_face.setdefault(face_id, []).append(node)
+        return node
+
+    def attach_pois(self, pois: POISet) -> List[int]:
+        """Attach every POI of a set; returns their node ids in order."""
+        return [
+            self.attach_site(poi.position, poi.face_id, poi.vertex_id)
+            for poi in pois
+        ]
+
+    def detach_last_sites(self, count: int) -> None:
+        """Remove the ``count`` most recently attached site nodes.
+
+        Sites are removed LIFO; attempting to detach mesh/Steiner nodes
+        raises.  Used by transient A2A attachments.
+        """
+        base = self._num_vertices + self._num_steiner
+        for _ in range(count):
+            node = len(self._positions) - 1
+            if node < base:
+                raise ValueError("cannot detach non-site nodes")
+            for other in self._neighbors[node]:
+                index = self._neighbors[other].index(node)
+                self._neighbors[other].pop(index)
+                self._weights[other].pop(index)
+                self._num_edges -= 1
+            self._positions.pop()
+            self._neighbors.pop()
+            self._weights.pop()
+            for face_id, sites in list(self._sites_by_face.items()):
+                if node in sites:
+                    sites.remove(node)
+                    if not sites:
+                        del self._sites_by_face[face_id]
+                    break

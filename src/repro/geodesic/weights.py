@@ -1,0 +1,97 @@
+"""Edge-cost models for the geodesic graph.
+
+The default metric weighs every graph edge by 3D Euclidean length (the
+geodesic setting of the paper).  Related work the paper builds on
+treats *weighted* polyhedral surfaces — Aleksandrov et al. [2, 3]
+study weighted faces, and Liu & Wong [24] compute paths under slope
+constraints.  This module provides pluggable cost models so the whole
+stack (engine, SE oracle, baselines) runs unchanged on such metrics:
+
+* :func:`euclidean_weight` — plain length (the paper's setting);
+* :class:`SlopePenaltyWeight` — length scaled by a slope-dependent
+  factor, with a hard cutoff beyond a maximum traversable slope
+  (edges steeper than that are removed from the graph);
+* :class:`ElevationGainWeight` — length plus a per-metre-of-ascent
+  charge (an asymmetric-cost surrogate made symmetric by charging
+  ascent in either direction, keeping the metric a metric).
+
+A weight function maps two 3D endpoints to a non-negative cost, or
+``math.inf`` to delete the edge.  Costs must be symmetric and satisfy
+``cost >= length`` is *not* required — but the SE oracle's guarantee
+is relative to whatever metric the graph defines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["WeightFunction", "euclidean_weight", "SlopePenaltyWeight",
+           "ElevationGainWeight"]
+
+WeightFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+def euclidean_weight(a: np.ndarray, b: np.ndarray) -> float:
+    """3D Euclidean length — the paper's geodesic metric."""
+    delta = a - b
+    return float(math.sqrt(float(delta @ delta)))
+
+
+class SlopePenaltyWeight:
+    """Length multiplied by a slope penalty, with a hard slope cutoff.
+
+    The penalty is ``1 + penalty * (slope / max_slope)`` for slopes
+    below ``max_slope`` (in degrees) and ``inf`` above it, mirroring
+    the slope-constrained paths of [24]: steep segments cost more and
+    impassable ones disappear.
+
+    Example
+    -------
+    >>> weight = SlopePenaltyWeight(max_slope_deg=30.0, penalty=1.0)
+    >>> flat = weight(np.zeros(3), np.array([1.0, 0.0, 0.0]))
+    >>> steep = weight(np.zeros(3), np.array([0.1, 0.0, 1.0]))
+    >>> math.isinf(steep)
+    True
+    """
+
+    def __init__(self, max_slope_deg: float = 45.0, penalty: float = 1.0):
+        if not 0.0 < max_slope_deg <= 90.0:
+            raise ValueError("max_slope_deg must be in (0, 90]")
+        if penalty < 0.0:
+            raise ValueError("penalty must be non-negative")
+        self.max_slope_deg = max_slope_deg
+        self.penalty = penalty
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
+        length = euclidean_weight(a, b)
+        if length == 0.0:
+            return 0.0
+        horizontal = math.hypot(float(a[0] - b[0]), float(a[1] - b[1]))
+        rise = abs(float(a[2] - b[2]))
+        slope_deg = math.degrees(math.atan2(rise, max(horizontal, 1e-12)))
+        if slope_deg > self.max_slope_deg:
+            return math.inf
+        return length * (1.0 + self.penalty * slope_deg / self.max_slope_deg)
+
+
+class ElevationGainWeight:
+    """Length plus a symmetric charge per metre of elevation change.
+
+    ``cost = length + gain_cost * |dz|``: hiking-time style costs where
+    vertical metres are worth ``gain_cost`` horizontal ones.  Charging
+    ``|dz|`` (not just ascent) keeps the weight symmetric, so shortest
+    paths still form a metric and the oracle's machinery applies.
+    """
+
+    def __init__(self, gain_cost: float = 7.92):
+        # 7.92 = Naismith's rule: 1h/600m climb at 4.75km/h walking.
+        if gain_cost < 0.0:
+            raise ValueError("gain_cost must be non-negative")
+        self.gain_cost = gain_cost
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
+        return (euclidean_weight(a, b)
+                + self.gain_cost * abs(float(a[2] - b[2])))

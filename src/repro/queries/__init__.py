@@ -1,0 +1,17 @@
+"""Proximity queries (kNN / range / RNN) over a distance oracle."""
+
+from .proximity import (
+    DistanceOracleProtocol,
+    k_nearest_neighbors,
+    nearest_neighbor,
+    range_query,
+    reverse_nearest_neighbors,
+)
+
+__all__ = [
+    "DistanceOracleProtocol",
+    "k_nearest_neighbors",
+    "nearest_neighbor",
+    "range_query",
+    "reverse_nearest_neighbors",
+]

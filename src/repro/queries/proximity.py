@@ -1,0 +1,100 @@
+"""Proximity queries built on the distance oracle (Section 1.1 / 1.2).
+
+The paper motivates SE as the substrate for "proximity queries such as
+nearest neighbor queries, range queries and reverse nearest neighbor
+queries".  This module provides those three query types over any object
+exposing ``query(source, target) -> float`` (an :class:`~repro.core.
+oracle.SEOracle`, a :class:`~repro.baselines.full_apsp.
+FullAPSPBaseline`, or a :class:`~repro.baselines.kalgo.KAlgo`):
+
+* :func:`k_nearest_neighbors` — kNN by geodesic distance;
+* :func:`range_query` — all POIs within a geodesic radius;
+* :func:`reverse_nearest_neighbors` — monochromatic RNN: POIs whose
+  nearest neighbour is the query POI.
+
+Each call costs O(n) oracle probes (O(n h) time with SE), which is the
+design the paper enables: cheap probes make scan-based proximity
+queries practical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+__all__ = [
+    "DistanceOracleProtocol",
+    "k_nearest_neighbors",
+    "range_query",
+    "reverse_nearest_neighbors",
+    "nearest_neighbor",
+]
+
+
+class DistanceOracleProtocol(Protocol):
+    """Anything answering POI-to-POI distance queries."""
+
+    def query(self, source: int, target: int) -> float: ...
+
+
+def k_nearest_neighbors(oracle: DistanceOracleProtocol, source: int,
+                        k: int, num_pois: int) -> List[Tuple[int, float]]:
+    """The ``k`` POIs nearest to ``source`` (excluding itself).
+
+    Returns ``(poi, distance)`` pairs sorted by distance (ties broken by
+    POI index for determinism).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    candidates = [
+        (oracle.query(source, target), target)
+        for target in range(num_pois) if target != source
+    ]
+    candidates.sort()
+    return [(poi, distance) for distance, poi in candidates[:k]]
+
+
+def nearest_neighbor(oracle: DistanceOracleProtocol, source: int,
+                     num_pois: int) -> Tuple[int, float]:
+    """The single nearest POI to ``source``."""
+    result = k_nearest_neighbors(oracle, source, 1, num_pois)
+    if not result:
+        raise ValueError("no other POI exists")
+    return result[0]
+
+
+def range_query(oracle: DistanceOracleProtocol, source: int,
+                radius: float, num_pois: int) -> List[Tuple[int, float]]:
+    """All POIs within geodesic ``radius`` of ``source`` (excl. itself)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    hits = [
+        (distance, target)
+        for target in range(num_pois) if target != source
+        if (distance := oracle.query(source, target)) <= radius
+    ]
+    hits.sort()
+    return [(poi, distance) for distance, poi in hits]
+
+
+def reverse_nearest_neighbors(oracle: DistanceOracleProtocol, source: int,
+                              num_pois: int) -> List[int]:
+    """Monochromatic RNN: POIs whose nearest neighbour is ``source``.
+
+    Note the asymmetry with kNN: ``q`` is in ``RNN(source)`` iff no
+    third POI is closer to ``q`` than ``source`` is.
+    """
+    result = []
+    for candidate in range(num_pois):
+        if candidate == source:
+            continue
+        to_source = oracle.query(candidate, source)
+        is_rnn = True
+        for other in range(num_pois):
+            if other in (candidate, source):
+                continue
+            if oracle.query(candidate, other) < to_source:
+                is_rnn = False
+                break
+        if is_rnn:
+            result.append(candidate)
+    return result

@@ -1,0 +1,50 @@
+"""Terrain substrate: TIN meshes, generation, I/O, POIs and diagnostics."""
+
+from .generation import (
+    diamond_square,
+    gaussian_hills,
+    heightfield_to_mesh,
+    make_terrain,
+    refine_centroid,
+    simplify_grid,
+)
+from .io import read_mesh, read_obj, read_off, write_mesh, write_obj, write_off
+from .mesh import MeshError, TriangleMesh
+from .metrics import TerrainStatistics, terrain_statistics
+from .poi import (
+    POI,
+    POISet,
+    pois_from_vertices,
+    random_surface_point,
+    sample_clustered,
+    sample_uniform,
+)
+from .validation import ValidationReport, connected_components, validate_mesh
+
+__all__ = [
+    "TriangleMesh",
+    "MeshError",
+    "diamond_square",
+    "gaussian_hills",
+    "heightfield_to_mesh",
+    "make_terrain",
+    "refine_centroid",
+    "simplify_grid",
+    "read_mesh",
+    "read_obj",
+    "read_off",
+    "write_mesh",
+    "write_obj",
+    "write_off",
+    "TerrainStatistics",
+    "terrain_statistics",
+    "POI",
+    "POISet",
+    "pois_from_vertices",
+    "random_surface_point",
+    "sample_clustered",
+    "sample_uniform",
+    "ValidationReport",
+    "connected_components",
+    "validate_mesh",
+]

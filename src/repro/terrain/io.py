@@ -1,0 +1,130 @@
+"""Mesh file I/O: OFF and Wavefront OBJ.
+
+Real terrain meshes circulate as ``.off``/``.obj``; these loaders let a
+user run the oracle on their own data.  Only the geometry subset needed
+for terrains is supported (vertices + triangular faces; OBJ normals,
+textures and groups are skipped on read and never written).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+__all__ = ["read_off", "write_off", "read_obj", "write_obj", "read_mesh",
+           "write_mesh"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_off(path: PathLike) -> TriangleMesh:
+    """Read an OFF file (header ``OFF``; counts; vertices; faces)."""
+    with open(path) as handle:
+        tokens = _tokenize(handle)
+    if not tokens or tokens[0].upper() != "OFF":
+        raise MeshError(f"{path}: missing OFF header")
+    cursor = 1
+    try:
+        num_vertices = int(tokens[cursor])
+        num_faces = int(tokens[cursor + 1])
+        cursor += 3  # skip edge count
+        coords = [float(tokens[cursor + i]) for i in range(3 * num_vertices)]
+        cursor += 3 * num_vertices
+        faces: List[List[int]] = []
+        for _ in range(num_faces):
+            arity = int(tokens[cursor])
+            cursor += 1
+            if arity != 3:
+                raise MeshError(f"{path}: only triangular faces supported")
+            faces.append([int(tokens[cursor + i]) for i in range(3)])
+            cursor += 3
+    except (IndexError, ValueError) as exc:
+        raise MeshError(f"{path}: truncated or malformed OFF file") from exc
+    vertices = np.asarray(coords, dtype=float).reshape(num_vertices, 3)
+    return TriangleMesh(vertices, np.asarray(faces, dtype=np.int64))
+
+
+def write_off(mesh: TriangleMesh, path: PathLike) -> None:
+    """Write a mesh as OFF."""
+    with open(path, "w") as handle:
+        handle.write("OFF\n")
+        handle.write(f"{mesh.num_vertices} {mesh.num_faces} 0\n")
+        for x, y, z in mesh.vertices:
+            handle.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
+        for a, b, c in mesh.faces:
+            handle.write(f"3 {a} {b} {c}\n")
+
+
+def read_obj(path: PathLike) -> TriangleMesh:
+    """Read a Wavefront OBJ file (``v`` and triangular ``f`` records)."""
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+    with open(path) as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            tag = parts[0]
+            if tag == "v":
+                if len(parts) < 4:
+                    raise MeshError(f"{path}:{line_no}: short vertex record")
+                vertices.append([float(value) for value in parts[1:4]])
+            elif tag == "f":
+                if len(parts) != 4:
+                    raise MeshError(
+                        f"{path}:{line_no}: only triangular faces supported"
+                    )
+                indices = []
+                for token in parts[1:]:
+                    index = int(token.split("/", 1)[0])
+                    # OBJ indices are 1-based; negatives count from the end.
+                    indices.append(index - 1 if index > 0
+                                   else len(vertices) + index)
+                faces.append(indices)
+            # vn / vt / g / o / usemtl etc. are ignored.
+    return TriangleMesh(np.asarray(vertices, dtype=float).reshape(-1, 3),
+                        np.asarray(faces, dtype=np.int64).reshape(-1, 3))
+
+
+def write_obj(mesh: TriangleMesh, path: PathLike) -> None:
+    """Write a mesh as Wavefront OBJ."""
+    with open(path, "w") as handle:
+        handle.write("# exported by repro.terrain.io\n")
+        for x, y, z in mesh.vertices:
+            handle.write(f"v {float(x)!r} {float(y)!r} {float(z)!r}\n")
+        for a, b, c in mesh.faces:
+            handle.write(f"f {a + 1} {b + 1} {c + 1}\n")
+
+
+def read_mesh(path: PathLike) -> TriangleMesh:
+    """Dispatch on file extension (``.off`` / ``.obj``)."""
+    suffix = str(path).rsplit(".", 1)[-1].lower()
+    if suffix == "off":
+        return read_off(path)
+    if suffix == "obj":
+        return read_obj(path)
+    raise MeshError(f"unsupported mesh format: .{suffix}")
+
+
+def write_mesh(mesh: TriangleMesh, path: PathLike) -> None:
+    """Dispatch on file extension (``.off`` / ``.obj``)."""
+    suffix = str(path).rsplit(".", 1)[-1].lower()
+    if suffix == "off":
+        write_off(mesh, path)
+    elif suffix == "obj":
+        write_obj(mesh, path)
+    else:
+        raise MeshError(f"unsupported mesh format: .{suffix}")
+
+
+def _tokenize(handle: TextIO) -> List[str]:
+    tokens: List[str] = []
+    for raw in handle:
+        line = raw.split("#", 1)[0]
+        tokens.extend(line.split())
+    return tokens

@@ -1,0 +1,308 @@
+"""Triangulated irregular network (TIN) terrain surface.
+
+The paper's terrain model (Section 2): a set ``V`` of vertices with 3D
+coordinates, a set ``E`` of edges and a set of triangular faces; ``N =
+|V|``.  :class:`TriangleMesh` stores vertices and faces as numpy arrays
+and derives everything else lazily: the undirected edge set, edge
+lengths (3D Euclidean), vertex/face adjacency, and a planar face-location
+grid used to drop arbitrary ``(x, y)`` points onto the surface (the
+paper's A2A query generation does exactly this projection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TriangleMesh", "MeshError"]
+
+
+class MeshError(ValueError):
+    """Raised for structurally invalid mesh input."""
+
+
+class TriangleMesh:
+    """An immutable triangle mesh (terrain surface).
+
+    Parameters
+    ----------
+    vertices:
+        ``(N, 3)`` float array of vertex coordinates.
+    faces:
+        ``(M, 3)`` int array of vertex indices, counter-clockwise when
+        viewed from above for terrains (not enforced).
+
+    Notes
+    -----
+    The mesh is validated on construction: indices must be in range and
+    faces non-degenerate (three distinct vertices).  Use
+    :mod:`repro.terrain.validation` for deeper diagnostics.
+    """
+
+    def __init__(self, vertices: np.ndarray, faces: np.ndarray):
+        vertices = np.asarray(vertices, dtype=float)
+        faces = np.asarray(faces, dtype=np.int64)
+        if vertices.ndim != 2 or vertices.shape[1] != 3:
+            raise MeshError(f"vertices must be (N, 3), got {vertices.shape}")
+        if faces.size == 0:
+            faces = faces.reshape(0, 3)
+        if faces.ndim != 2 or faces.shape[1] != 3:
+            raise MeshError(f"faces must be (M, 3), got {faces.shape}")
+        if faces.size and (faces.min() < 0 or faces.max() >= len(vertices)):
+            raise MeshError("face indices out of range")
+        degenerate = (
+            (faces[:, 0] == faces[:, 1])
+            | (faces[:, 1] == faces[:, 2])
+            | (faces[:, 0] == faces[:, 2])
+        )
+        if degenerate.any():
+            raise MeshError(
+                f"{int(degenerate.sum())} degenerate faces (repeated vertex)"
+            )
+        self._vertices = vertices
+        self._vertices.setflags(write=False)
+        self._faces = faces
+        self._faces.setflags(write=False)
+        # Lazy caches.
+        self._edges: Optional[List[Tuple[int, int]]] = None
+        self._edge_faces: Optional[Dict[Tuple[int, int], List[int]]] = None
+        self._vertex_neighbors: Optional[List[List[int]]] = None
+        self._vertex_faces: Optional[List[List[int]]] = None
+        self._location_grid: Optional["_FaceLocationGrid"] = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> np.ndarray:
+        """``(N, 3)`` read-only vertex coordinates."""
+        return self._vertices
+
+    @property
+    def faces(self) -> np.ndarray:
+        """``(M, 3)`` read-only face vertex indices."""
+        return self._faces
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self._faces)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"TriangleMesh(vertices={self.num_vertices}, "
+            f"faces={self.num_faces})"
+        )
+
+    # ------------------------------------------------------------------
+    # derived topology
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted list of undirected edges as ``(u, v)`` with ``u < v``."""
+        if self._edges is None:
+            self._build_edges()
+        return self._edges
+
+    @property
+    def edge_faces(self) -> Dict[Tuple[int, int], List[int]]:
+        """Map from undirected edge to the list of incident face ids."""
+        if self._edge_faces is None:
+            self._build_edges()
+        return self._edge_faces
+
+    def _build_edges(self) -> None:
+        edge_faces: Dict[Tuple[int, int], List[int]] = {}
+        for face_id, (a, b, c) in enumerate(self._faces):
+            for u, v in ((a, b), (b, c), (a, c)):
+                key = (int(u), int(v)) if u < v else (int(v), int(u))
+                edge_faces.setdefault(key, []).append(face_id)
+        self._edge_faces = edge_faces
+        self._edges = sorted(edge_faces)
+
+    @property
+    def vertex_neighbors(self) -> List[List[int]]:
+        """Adjacency list: neighbouring vertex ids per vertex."""
+        if self._vertex_neighbors is None:
+            neighbors: List[List[int]] = [[] for _ in range(self.num_vertices)]
+            for u, v in self.edges:
+                neighbors[u].append(v)
+                neighbors[v].append(u)
+            self._vertex_neighbors = neighbors
+        return self._vertex_neighbors
+
+    @property
+    def vertex_faces(self) -> List[List[int]]:
+        """Incidence list: face ids touching each vertex."""
+        if self._vertex_faces is None:
+            incident: List[List[int]] = [[] for _ in range(self.num_vertices)]
+            for face_id, face in enumerate(self._faces):
+                for vertex in face:
+                    incident[int(vertex)].append(face_id)
+            self._vertex_faces = incident
+        return self._vertex_faces
+
+    def faces_adjacent_to(self, face_id: int) -> List[int]:
+        """Face ids sharing an edge or a vertex with ``face_id`` (incl. it)."""
+        result = set()
+        for vertex in self._faces[face_id]:
+            result.update(self.vertex_faces[int(vertex)])
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def edge_length(self, u: int, v: int) -> float:
+        """3D Euclidean length of the edge ``(u, v)``."""
+        delta = self._vertices[u] - self._vertices[v]
+        return float(math.sqrt(float(delta @ delta)))
+
+    def edge_lengths(self) -> np.ndarray:
+        """Lengths of all edges, aligned with :attr:`edges`."""
+        edge_array = np.asarray(self.edges, dtype=np.int64)
+        if edge_array.size == 0:
+            return np.zeros(0)
+        delta = self._vertices[edge_array[:, 0]] - self._vertices[edge_array[:, 1]]
+        return np.sqrt((delta * delta).sum(axis=1))
+
+    def face_area(self, face_id: int) -> float:
+        """3D area of a face."""
+        a, b, c = self._faces[face_id]
+        ab = self._vertices[b] - self._vertices[a]
+        ac = self._vertices[c] - self._vertices[a]
+        return 0.5 * float(np.linalg.norm(np.cross(ab, ac)))
+
+    def face_areas(self) -> np.ndarray:
+        """3D areas of all faces."""
+        a = self._vertices[self._faces[:, 0]]
+        b = self._vertices[self._faces[:, 1]]
+        c = self._vertices[self._faces[:, 2]]
+        cross = np.cross(b - a, c - a)
+        return 0.5 * np.sqrt((cross * cross).sum(axis=1))
+
+    def surface_area(self) -> float:
+        """Total 3D surface area."""
+        return float(self.face_areas().sum())
+
+    def face_angles(self, face_id: int) -> Tuple[float, float, float]:
+        """Interior angles (radians) at the three corners of a face."""
+        corners = self._vertices[self._faces[face_id]]
+        angles = []
+        for i in range(3):
+            u = corners[(i + 1) % 3] - corners[i]
+            v = corners[(i + 2) % 3] - corners[i]
+            denom = np.linalg.norm(u) * np.linalg.norm(v)
+            cosine = float(np.clip(u @ v / denom, -1.0, 1.0))
+            angles.append(math.acos(cosine))
+        return tuple(angles)  # type: ignore[return-value]
+
+    def min_inner_angle(self) -> float:
+        """Minimum interior angle θ over all faces (paper's θ parameter)."""
+        best = math.pi
+        for face_id in range(self.num_faces):
+            best = min(best, min(self.face_angles(face_id)))
+        return best
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(min_corner, max_corner)`` of the vertex cloud."""
+        return self._vertices.min(axis=0), self._vertices.max(axis=0)
+
+    def xy_extent(self) -> Tuple[float, float]:
+        """Planar extent ``(width_x, width_y)`` of the covered region."""
+        low, high = self.bounding_box()
+        return float(high[0] - low[0]), float(high[1] - low[1])
+
+    def face_centroid(self, face_id: int) -> np.ndarray:
+        """3D centroid of a face."""
+        return self._vertices[self._faces[face_id]].mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # point location / surface projection
+    # ------------------------------------------------------------------
+    def locate_face(self, x: float, y: float) -> int:
+        """Face whose planar projection contains ``(x, y)``, or ``-1``.
+
+        Used by A2A query generation: "computed the point on the terrain
+        surface whose projection on the x-y plane is (x, y)".
+        """
+        if self._location_grid is None:
+            self._location_grid = _FaceLocationGrid(self)
+        return self._location_grid.locate(x, y)
+
+    def project_onto_surface(self, x: float, y: float) -> Optional[np.ndarray]:
+        """Lift planar ``(x, y)`` to the surface point above it, or None.
+
+        The z value is barycentric interpolation over the containing
+        face, which is exactly the terrain height at ``(x, y)``.
+        """
+        face_id = self.locate_face(x, y)
+        if face_id < 0:
+            return None
+        weights = self.barycentric_weights(face_id, x, y)
+        corners = self._vertices[self._faces[face_id]]
+        return weights @ corners
+
+    def barycentric_weights(self, face_id: int, x: float, y: float) -> np.ndarray:
+        """Planar barycentric weights of ``(x, y)`` within ``face_id``."""
+        (ax, ay), (bx, by), (cx, cy) = self._vertices[self._faces[face_id]][:, :2]
+        det = (by - cy) * (ax - cx) + (cx - bx) * (ay - cy)
+        if abs(det) < 1e-30:
+            raise MeshError(f"face {face_id} is planar-degenerate")
+        w0 = ((by - cy) * (x - cx) + (cx - bx) * (y - cy)) / det
+        w1 = ((cy - ay) * (x - cx) + (ax - cx) * (y - cy)) / det
+        return np.array([w0, w1, 1.0 - w0 - w1])
+
+    def contains_point_2d(self, face_id: int, x: float, y: float,
+                          tolerance: float = 1e-9) -> bool:
+        """Whether the planar projection of ``face_id`` covers ``(x, y)``."""
+        try:
+            weights = self.barycentric_weights(face_id, x, y)
+        except MeshError:
+            return False
+        return bool((weights >= -tolerance).all())
+
+
+class _FaceLocationGrid:
+    """Uniform planar grid over face bounding boxes for point location."""
+
+    def __init__(self, mesh: TriangleMesh, target_faces_per_cell: float = 2.0):
+        self._mesh = mesh
+        low, high = mesh.bounding_box()
+        self._x0, self._y0 = float(low[0]), float(low[1])
+        width = max(high[0] - low[0], 1e-12)
+        height = max(high[1] - low[1], 1e-12)
+        cells = max(1, int(math.sqrt(max(mesh.num_faces, 1)
+                                     / target_faces_per_cell)))
+        self._nx = self._ny = cells
+        self._dx = width / cells
+        self._dy = height / cells
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+        xy = mesh.vertices[:, :2]
+        for face_id, face in enumerate(mesh.faces):
+            corners = xy[face]
+            min_cx, min_cy = self._cell(corners[:, 0].min(), corners[:, 1].min())
+            max_cx, max_cy = self._cell(corners[:, 0].max(), corners[:, 1].max())
+            for cell_x in range(min_cx, max_cx + 1):
+                for cell_y in range(min_cy, max_cy + 1):
+                    self._buckets.setdefault((cell_x, cell_y), []).append(face_id)
+
+    def _cell(self, x: float, y: float) -> Tuple[int, int]:
+        cell_x = int((x - self._x0) / self._dx)
+        cell_y = int((y - self._y0) / self._dy)
+        return (min(max(cell_x, 0), self._nx - 1),
+                min(max(cell_y, 0), self._ny - 1))
+
+    def locate(self, x: float, y: float) -> int:
+        for face_id in self._buckets.get(self._cell(x, y), ()):
+            if self._mesh.contains_point_2d(face_id, x, y):
+                return face_id
+        return -1

@@ -1,0 +1,77 @@
+"""Terrain shape statistics (Table 2-style dataset descriptions).
+
+Table 2 of the paper characterises each dataset by vertex count,
+resolution and covered region; the complexity bounds additionally use
+the minimum inner angle θ and the edge-length extremes
+``l_min``/``l_max`` (K-Algo's bound).  :func:`terrain_statistics`
+computes all of them for any mesh.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mesh import TriangleMesh
+
+__all__ = ["TerrainStatistics", "terrain_statistics"]
+
+
+@dataclass(frozen=True)
+class TerrainStatistics:
+    """Shape summary of a terrain mesh."""
+
+    num_vertices: int
+    num_edges: int
+    num_faces: int
+    extent_x: float
+    extent_y: float
+    relief: float
+    resolution: float           # mean planar spacing between adjacent vertices
+    min_edge_length: float      # l_min in K-Algo's complexity bound
+    max_edge_length: float      # l_max
+    min_inner_angle_deg: float  # θ in SP-Oracle's complexity bound
+    surface_area: float
+    planar_area: float
+    ruggedness: float           # surface area / planar area (>= 1)
+
+    def describe(self) -> str:
+        """One-line, Table 2-style description."""
+        return (
+            f"{self.num_vertices} vertices, resolution {self.resolution:.1f} m, "
+            f"region {self.extent_x / 1000:.1f}km x {self.extent_y / 1000:.1f}km, "
+            f"relief {self.relief:.0f} m"
+        )
+
+
+def terrain_statistics(mesh: TriangleMesh) -> TerrainStatistics:
+    """Compute the :class:`TerrainStatistics` of a mesh."""
+    if mesh.num_faces == 0:
+        raise ValueError("cannot summarise an empty mesh")
+    low, high = mesh.bounding_box()
+    extent_x = float(high[0] - low[0])
+    extent_y = float(high[1] - low[1])
+    lengths = mesh.edge_lengths()
+    edge_array = np.asarray(mesh.edges, dtype=np.int64)
+    planar_delta = (mesh.vertices[edge_array[:, 0], :2]
+                    - mesh.vertices[edge_array[:, 1], :2])
+    planar_spacing = np.sqrt((planar_delta ** 2).sum(axis=1))
+    surface = mesh.surface_area()
+    planar = max(extent_x * extent_y, 1e-12)
+    return TerrainStatistics(
+        num_vertices=mesh.num_vertices,
+        num_edges=mesh.num_edges,
+        num_faces=mesh.num_faces,
+        extent_x=extent_x,
+        extent_y=extent_y,
+        relief=float(high[2] - low[2]),
+        resolution=float(planar_spacing.mean()),
+        min_edge_length=float(lengths.min()),
+        max_edge_length=float(lengths.max()),
+        min_inner_angle_deg=math.degrees(mesh.min_inner_angle()),
+        surface_area=surface,
+        planar_area=planar,
+        ruggedness=surface / planar,
+    )

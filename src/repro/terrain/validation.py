@@ -1,0 +1,119 @@
+"""Structural diagnostics for terrain meshes.
+
+The oracle's correctness relies on the mesh being a connected 2-manifold
+surface patch: every edge borders one (boundary) or two (interior)
+faces, the vertex graph is connected, and no face has near-zero area.
+:func:`validate_mesh` runs every check and returns a structured report
+instead of raising, so callers can decide which problems are fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .mesh import TriangleMesh
+
+__all__ = ["ValidationReport", "validate_mesh", "connected_components"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_mesh`."""
+
+    is_manifold: bool
+    is_connected: bool
+    boundary_edges: int
+    non_manifold_edges: int
+    isolated_vertices: int
+    degenerate_faces: int
+    duplicate_faces: int
+    components: int
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the mesh is usable as an oracle substrate."""
+        return (self.is_manifold and self.is_connected
+                and self.isolated_vertices == 0
+                and self.degenerate_faces == 0
+                and self.duplicate_faces == 0)
+
+
+def connected_components(mesh: TriangleMesh) -> int:
+    """Number of connected components of the vertex graph."""
+    n = mesh.num_vertices
+    if n == 0:
+        return 0
+    neighbors = mesh.vertex_neighbors
+    seen = [False] * n
+    components = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        components += 1
+        stack = [start]
+        seen[start] = True
+        while stack:
+            vertex = stack.pop()
+            for neighbor in neighbors[vertex]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(neighbor)
+    return components
+
+
+def validate_mesh(mesh: TriangleMesh, area_epsilon: float = 1e-12
+                  ) -> ValidationReport:
+    """Run all structural checks and collect a report."""
+    messages: List[str] = []
+
+    non_manifold = 0
+    boundary = 0
+    for edge, face_list in mesh.edge_faces.items():
+        if len(face_list) == 1:
+            boundary += 1
+        elif len(face_list) > 2:
+            non_manifold += 1
+            messages.append(f"edge {edge} borders {len(face_list)} faces")
+
+    used = np.zeros(mesh.num_vertices, dtype=bool)
+    if mesh.num_faces:
+        used[mesh.faces.ravel()] = True
+    isolated = int((~used).sum())
+    if isolated:
+        messages.append(f"{isolated} vertices belong to no face")
+
+    areas = mesh.face_areas()
+    degenerate = int((areas <= area_epsilon).sum())
+    if degenerate:
+        messages.append(f"{degenerate} faces have (near-)zero area")
+
+    seen_faces = set()
+    duplicates = 0
+    for face in mesh.faces:
+        key = tuple(sorted(int(v) for v in face))
+        if key in seen_faces:
+            duplicates += 1
+        else:
+            seen_faces.add(key)
+    if duplicates:
+        messages.append(f"{duplicates} duplicate faces")
+
+    components = connected_components(mesh)
+    if components > 1:
+        messages.append(f"mesh has {components} connected components")
+
+    return ValidationReport(
+        is_manifold=non_manifold == 0,
+        is_connected=components <= 1,
+        boundary_edges=boundary,
+        non_manifold_edges=non_manifold,
+        isolated_vertices=isolated,
+        degenerate_faces=degenerate,
+        duplicate_faces=duplicates,
+        components=components,
+        messages=messages,
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures: small terrains, POI sets and geodesic engines."""
+
+import pytest
+
+from repro.geodesic import GeodesicEngine
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture(scope="session")
+def small_terrain():
+    """~81-vertex fractal terrain, 100m x 100m."""
+    return make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_terrain():
+    """~289-vertex fractal terrain, 200m x 160m."""
+    return make_terrain(grid_exponent=4, extent=(200.0, 160.0),
+                        relief=30.0, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_terrain):
+    """Engine with 20 uniform POIs on the small terrain."""
+    pois = sample_uniform(small_terrain, 20, seed=21)
+    return GeodesicEngine(small_terrain, pois, points_per_edge=1)
+
+
+@pytest.fixture(scope="session")
+def medium_engine(medium_terrain):
+    """Engine with 40 uniform POIs on the medium terrain."""
+    pois = sample_uniform(medium_terrain, 40, seed=22)
+    return GeodesicEngine(medium_terrain, pois, points_per_edge=1)

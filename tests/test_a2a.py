@@ -1,0 +1,122 @@
+"""Tests for the A2A oracle (Appendix C) and the n > N setting (App. D)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import A2AOracle, build_site_pois
+from repro.geodesic import GeodesicEngine
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture(scope="module")
+def terrain():
+    return make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=31)
+
+
+@pytest.fixture(scope="module")
+def a2a(terrain):
+    return A2AOracle(terrain, epsilon=0.25, sites_per_edge=1,
+                     points_per_edge=1, seed=2).build()
+
+
+class TestSites:
+    def test_site_count(self, terrain):
+        sites = build_site_pois(terrain, sites_per_edge=1)
+        assert len(sites) == terrain.num_vertices + terrain.num_edges
+
+    def test_zero_edge_sites(self, terrain):
+        sites = build_site_pois(terrain, sites_per_edge=0)
+        assert len(sites) == terrain.num_vertices
+
+    def test_negative_density_rejected(self, terrain):
+        with pytest.raises(ValueError):
+            build_site_pois(terrain, sites_per_edge=-1)
+
+    def test_vertex_sites_coincide_with_vertices(self, terrain):
+        sites = build_site_pois(terrain, sites_per_edge=0)
+        np.testing.assert_allclose(sites.positions, terrain.vertices)
+
+
+class TestNeighborhood:
+    def test_neighborhood_nonempty(self, a2a, terrain):
+        low, high = terrain.bounding_box()
+        x = (low[0] + high[0]) / 2
+        y = (low[1] + high[1]) / 2
+        sites = a2a.neighborhood(x, y)
+        assert sites
+        assert len(set(sites)) == len(sites)
+
+    def test_neighborhood_outside_raises(self, a2a):
+        with pytest.raises(ValueError):
+            a2a.neighborhood(1e9, 1e9)
+
+    def test_neighborhood_contains_face_corners(self, a2a, terrain):
+        x, y = 50.0, 50.0
+        face_id = terrain.locate_face(x, y)
+        sites = a2a.neighborhood(x, y)
+        corner_vertex = int(terrain.faces[face_id][0])
+        # Vertex sites are indexed first, one per vertex.
+        assert corner_vertex in sites
+
+
+class TestQueries:
+    def test_query_before_build_raises(self, terrain):
+        fresh = A2AOracle(terrain, epsilon=0.25)
+        with pytest.raises(RuntimeError):
+            fresh.query((10, 10), (90, 90))
+
+    def test_query_accuracy_against_direct_dijkstra(self, a2a, terrain):
+        """A2A estimates must track a direct graph computation."""
+        pois = sample_uniform(terrain, 8, seed=7)
+        engine = GeodesicEngine(terrain, pois, points_per_edge=1)
+        rng = np.random.default_rng(3)
+        checked = 0
+        for _ in range(6):
+            ax, ay = rng.uniform(15, 85, 2)
+            bx, by = rng.uniform(15, 85, 2)
+            true_dist = _direct_distance(engine, (ax, ay), (bx, by))
+            approx = a2a.query((float(ax), float(ay)), (float(bx), float(by)))
+            if true_dist < 1e-9:
+                continue
+            checked += 1
+            # The site grid adds its own discretisation on top of eps;
+            # allow a generous but bounded envelope.
+            assert approx >= true_dist * (1 - a2a.epsilon - 1e-6)
+            assert approx <= true_dist * (1 + a2a.epsilon + 0.35)
+        assert checked >= 4
+
+    def test_query_symmetry(self, a2a):
+        forward = a2a.query((20.0, 20.0), (80.0, 75.0))
+        backward = a2a.query((80.0, 75.0), (20.0, 20.0))
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    def test_nearby_points_have_small_distance(self, a2a):
+        distance = a2a.query((50.0, 50.0), (51.0, 50.5))
+        assert distance < 10.0
+
+    def test_p2p_in_n_greater_N_regime(self, a2a, terrain):
+        """Appendix D: P2P through the POI-independent oracle."""
+        pois = sample_uniform(terrain, 50, seed=9)  # n >> sites is fine
+        d = a2a.query_p2p(pois, 0, 25)
+        assert d > 0
+        assert math.isfinite(d)
+
+    def test_size_accounts_for_site_table(self, a2a):
+        assert a2a.size_bytes() > a2a.se_oracle.size_bytes()
+
+    def test_num_sites(self, a2a, terrain):
+        assert a2a.num_sites == terrain.num_vertices + terrain.num_edges
+
+    def test_stats_exposed(self, a2a):
+        assert a2a.stats.pairs_stored > 0
+
+
+def _direct_distance(engine, a_xy, b_xy):
+    node_a = engine.attach_point(float(a_xy[0]), float(a_xy[1]))
+    node_b = engine.attach_point(float(b_xy[0]), float(b_xy[1]))
+    distance = engine.node_distance(node_a, node_b)
+    engine.detach_points(2)
+    return distance

@@ -1,0 +1,100 @@
+"""Tests for capacity dimension estimation and error statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ErrorStats,
+    estimate_capacity_dimension,
+    measure_errors,
+    relative_error,
+)
+from repro.geodesic import GeodesicEngine
+from repro.terrain import make_terrain, sample_uniform
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_underestimate(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_exact_zero_approx(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_exact_nonzero_approx(self):
+        assert math.isinf(relative_error(1.0, 0.0))
+
+
+class TestMeasureErrors:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            measure_errors(lambda a, b: 0, lambda a, b: 0, [])
+
+    def test_perfect_oracle(self):
+        exact = {(0, 1): 4.0, (1, 2): 7.0}
+        stats = measure_errors(lambda a, b: exact[(a, b)],
+                               lambda a, b: exact[(a, b)],
+                               [(0, 1), (1, 2)])
+        assert stats.mean == 0.0
+        assert stats.max == 0.0
+        assert stats.count == 2
+        assert stats.within_bound(0.0)
+
+    def test_constant_error(self):
+        stats = measure_errors(lambda a, b: 1.1, lambda a, b: 1.0,
+                               [(0, 1)] * 5)
+        assert stats.mean == pytest.approx(0.1)
+        assert stats.max == pytest.approx(0.1)
+        assert stats.p50 == pytest.approx(0.1)
+        assert stats.within_bound(0.1 + 1e-12)
+        assert not stats.within_bound(0.05)
+
+    def test_percentiles(self):
+        approximations = iter([1.0, 1.1, 1.2, 1.3, 2.0])
+        stats = measure_errors(lambda a, b: next(approximations),
+                               lambda a, b: 1.0,
+                               [(0, i) for i in range(5)])
+        assert stats.p50 == pytest.approx(0.2)
+        assert stats.max == pytest.approx(1.0)
+        assert stats.p95 == pytest.approx(1.0)
+
+
+class TestCapacityDimension:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        mesh = make_terrain(grid_exponent=4, extent=(200.0, 200.0),
+                            relief=30.0, seed=71)
+        pois = sample_uniform(mesh, 40, seed=72)
+        return GeodesicEngine(mesh, pois, points_per_edge=0)
+
+    def test_too_few_pois_rejected(self):
+        mesh = make_terrain(grid_exponent=3, seed=71)
+        pois = sample_uniform(mesh, 2, seed=1)
+        engine = GeodesicEngine(mesh, pois, points_per_edge=0)
+        with pytest.raises(ValueError):
+            estimate_capacity_dimension(engine)
+
+    def test_beta_in_plausible_range(self, engine):
+        """Terrain surfaces are ~2D manifolds: beta should land near
+        the paper's [1.3, 1.5] band (we accept a generous envelope for
+        a 40-point sample)."""
+        estimate = estimate_capacity_dimension(engine, num_centers=6,
+                                               radius_steps=3, seed=1)
+        assert 0.5 <= estimate.beta <= 2.5
+        assert estimate.per_ball
+
+    def test_summary_format(self, engine):
+        estimate = estimate_capacity_dimension(engine, num_centers=3,
+                                               radius_steps=2, seed=2)
+        assert "beta=" in estimate.summary()
+
+    def test_deterministic(self, engine):
+        first = estimate_capacity_dimension(engine, num_centers=4, seed=5)
+        second = estimate_capacity_dimension(engine, num_centers=4, seed=5)
+        assert first.beta == second.beta

@@ -1,0 +1,215 @@
+"""Unit and property tests for the B+-tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import BPlusTree
+
+
+class TestConstruction:
+    def test_order_below_three_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert not tree
+        assert list(tree) == []
+        assert 5 not in tree
+
+    def test_min_max_on_empty_raise(self):
+        tree = BPlusTree()
+        with pytest.raises(KeyError):
+            tree.min_key()
+        with pytest.raises(KeyError):
+            tree.max_key()
+
+
+class TestInsertSearch:
+    def test_single_insert(self):
+        tree = BPlusTree(order=4)
+        tree.insert(7, "seven")
+        assert 7 in tree
+        assert tree.get(7) == "seven"
+        assert len(tree) == 1
+
+    def test_get_default(self):
+        tree = BPlusTree(order=4)
+        assert tree.get(1, "fallback") == "fallback"
+
+    def test_duplicate_insert_raises(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1)
+        with pytest.raises(KeyError):
+            tree.insert(1)
+
+    def test_sorted_iteration_after_random_inserts(self):
+        tree = BPlusTree(order=4)
+        keys = random.Random(1).sample(range(1000), 200)
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert list(tree) == sorted(keys)
+        tree.check_invariants()
+
+    def test_values_follow_keys(self):
+        tree = BPlusTree(order=5)
+        for key in range(50):
+            tree.insert(key, key * key)
+        assert [value for _, value in tree.items()] == [k * k for k in range(50)]
+
+    def test_min_max_key(self):
+        tree = BPlusTree(order=4)
+        for key in [42, 7, 99, 3]:
+            tree.insert(key)
+        assert tree.min_key() == 3
+        assert tree.max_key() == 99
+
+    def test_sequential_ascending_inserts(self):
+        tree = BPlusTree(order=3)
+        for key in range(100):
+            tree.insert(key)
+        tree.check_invariants()
+        assert list(tree) == list(range(100))
+
+    def test_sequential_descending_inserts(self):
+        tree = BPlusTree(order=3)
+        for key in reversed(range(100)):
+            tree.insert(key)
+        tree.check_invariants()
+        assert list(tree) == list(range(100))
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=16)
+        for key in range(2000):
+            tree.insert(key)
+        assert tree.height() <= 5
+
+    def test_float_keys(self):
+        tree = BPlusTree(order=4)
+        for key in [0.5, -1.25, 3.75, 2.0]:
+            tree.insert(key)
+        assert list(tree) == [-1.25, 0.5, 2.0, 3.75]
+
+
+class TestRangeSearch:
+    def test_range_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 10):
+            tree.insert(key, str(key))
+        assert [k for k, _ in tree.range_search(20, 50)] == [20, 30, 40, 50]
+
+    def test_range_empty_interval(self):
+        tree = BPlusTree(order=4)
+        for key in range(10):
+            tree.insert(key)
+        assert tree.range_search(100, 200) == []
+
+    def test_range_spanning_leaves(self):
+        tree = BPlusTree(order=3)
+        for key in range(60):
+            tree.insert(key, -key)
+        result = tree.range_search(10, 49)
+        assert [k for k, _ in result] == list(range(10, 50))
+        assert [v for _, v in result] == [-k for k in range(10, 50)]
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1)
+        with pytest.raises(KeyError):
+            tree.delete(2)
+
+    def test_delete_all_in_insert_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100))
+        for key in keys:
+            tree.insert(key)
+        for key in keys:
+            tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_all_reverse_order(self):
+        tree = BPlusTree(order=3)
+        keys = list(range(80))
+        for key in keys:
+            tree.insert(key)
+        for key in reversed(keys):
+            tree.delete(key)
+        assert list(tree) == []
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(order=4)
+        rng = random.Random(7)
+        present = set()
+        for _ in range(2000):
+            key = rng.randrange(300)
+            if key in present:
+                tree.delete(key)
+                present.discard(key)
+            else:
+                tree.insert(key)
+                present.add(key)
+        assert list(tree) == sorted(present)
+        tree.check_invariants()
+
+    def test_delete_shrinks_root(self):
+        tree = BPlusTree(order=3)
+        for key in range(30):
+            tree.insert(key)
+        for key in range(29):
+            tree.delete(key)
+        assert tree.height() == 1
+        assert list(tree) == [29]
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.integers(-10_000, 10_000), unique=True, max_size=200),
+       st.integers(3, 24))
+def test_insert_iteration_matches_sorted(keys, order):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    assert list(tree) == sorted(keys)
+    for key in keys:
+        assert tree.get(key) == key
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-500, 500), unique=True, min_size=1, max_size=120),
+       st.data(),
+       st.integers(3, 16))
+def test_delete_subset_matches_reference(keys, data, order):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for key in to_delete:
+        tree.delete(key)
+        tree.check_invariants()
+    assert list(tree) == sorted(set(keys) - set(to_delete))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1000), unique=True, min_size=1, max_size=150),
+       st.integers(0, 1000), st.integers(0, 1000))
+def test_range_search_matches_filter(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=6)
+    for key in keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.range_search(low, high)] == expected

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def terrain_file(tmp_path):
+    path = tmp_path / "t.off"
+    code = main(["generate", "--exponent", "3", "--extent", "100", "100",
+                 "--relief", "20", "--seed", "5", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x.off"])
+        assert args.exponent == 5
+        assert args.out == "x.off"
+
+
+class TestGenerate:
+    def test_creates_file(self, terrain_file, capsys):
+        assert terrain_file.exists()
+        from repro.terrain import read_mesh
+        mesh = read_mesh(terrain_file)
+        assert mesh.num_vertices == 81
+
+    def test_obj_output(self, tmp_path):
+        path = tmp_path / "t.obj"
+        assert main(["generate", "--exponent", "2", "--out",
+                     str(path)]) == 0
+        assert path.exists()
+
+
+class TestStats:
+    def test_prints_summary(self, terrain_file, capsys):
+        assert main(["stats", str(terrain_file)]) == 0
+        out = capsys.readouterr().out
+        assert "81 vertices" in out
+        assert "valid=True" in out
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, terrain_file, tmp_path, capsys):
+        oracle_path = tmp_path / "oracle.json"
+        code = main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.2", "--out", str(oracle_path)])
+        assert code == 0
+        assert oracle_path.exists()
+        out = capsys.readouterr().out
+        assert "n=10" in out
+
+        code = main(["query", str(terrain_file), str(oracle_path),
+                     "0", "7", "--pois", "10", "--exact"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "d(0, 7)" in out
+        assert "error" in out
+
+    def test_query_with_wrong_poi_count_fails(self, terrain_file, tmp_path):
+        oracle_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--epsilon", "0.2", "--out", str(oracle_path)])
+        # Different POI workload -> fingerprint mismatch.
+        with pytest.raises(ValueError):
+            main(["query", str(terrain_file), str(oracle_path),
+                  "0", "1", "--pois", "12"])
+
+    def test_greedy_strategy(self, terrain_file, tmp_path):
+        oracle_path = tmp_path / "g.json"
+        assert main(["build", str(terrain_file), "--pois", "8",
+                     "--strategy", "greedy", "--out",
+                     str(oracle_path)]) == 0
+
+
+class TestBench:
+    def test_table2(self, capsys):
+        assert main(["bench", "table2", "--scale", "tiny"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig13_tiny(self, capsys):
+        assert main(["bench", "fig13", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "Query time" in out

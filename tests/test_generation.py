@@ -1,0 +1,177 @@
+"""Tests for synthetic terrain generation, refinement and simplification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.terrain import (
+    diamond_square,
+    gaussian_hills,
+    heightfield_to_mesh,
+    make_terrain,
+    refine_centroid,
+    simplify_grid,
+    terrain_statistics,
+    validate_mesh,
+)
+
+
+class TestDiamondSquare:
+    def test_size(self):
+        assert diamond_square(3).shape == (9, 9)
+        assert diamond_square(0).shape == (2, 2)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(diamond_square(4, seed=7),
+                                      diamond_square(4, seed=7))
+
+    def test_seed_changes_output(self):
+        assert not np.array_equal(diamond_square(4, seed=1),
+                                  diamond_square(4, seed=2))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            diamond_square(-1)
+        with pytest.raises(ValueError):
+            diamond_square(3, roughness=0.0)
+        with pytest.raises(ValueError):
+            diamond_square(3, roughness=1.5)
+
+    def test_rough_surface_has_more_variation(self):
+        smooth = diamond_square(5, roughness=0.3, seed=3)
+        rough = diamond_square(5, roughness=0.9, seed=3)
+
+        def high_frequency_energy(grid):
+            return np.abs(np.diff(grid, axis=0)).mean()
+
+        assert high_frequency_energy(rough) > high_frequency_energy(smooth)
+
+
+class TestGaussianHills:
+    def test_shape(self):
+        assert gaussian_hills(17).shape == (17, 17)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_hills(1)
+
+    def test_nonzero_relief(self):
+        grid = gaussian_hills(33, num_hills=4, seed=2)
+        assert grid.max() - grid.min() > 0.1
+
+
+class TestHeightfieldToMesh:
+    def test_vertex_and_face_counts(self):
+        mesh = heightfield_to_mesh(np.zeros((4, 5)), 3.0, 4.0)
+        assert mesh.num_vertices == 20
+        assert mesh.num_faces == 2 * 3 * 4
+
+    def test_extent_respected(self):
+        mesh = heightfield_to_mesh(np.zeros((5, 5)), 100.0, 50.0)
+        assert mesh.xy_extent() == pytest.approx((100.0, 50.0))
+
+    def test_z_scale(self):
+        heights = np.ones((3, 3))
+        mesh = heightfield_to_mesh(heights, 1.0, 1.0, z_scale=7.0)
+        assert mesh.vertices[:, 2].max() == pytest.approx(7.0)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            heightfield_to_mesh(np.zeros(5), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            heightfield_to_mesh(np.zeros((1, 5)), 1.0, 1.0)
+
+    def test_mesh_is_valid(self):
+        mesh = heightfield_to_mesh(diamond_square(4, seed=1), 10.0, 10.0)
+        report = validate_mesh(mesh)
+        assert report.ok, report.messages
+
+
+class TestMakeTerrain:
+    def test_statistics_are_plausible(self):
+        mesh = make_terrain(grid_exponent=4, extent=(14_000.0, 10_000.0),
+                            relief=900.0, seed=0)
+        stats = terrain_statistics(mesh)
+        assert stats.extent_x == pytest.approx(14_000.0)
+        assert stats.extent_y == pytest.approx(10_000.0)
+        assert 0 < stats.relief <= 900.0 + 1e-9
+        assert stats.ruggedness >= 1.0
+
+    def test_terrain_is_manifold_patch(self):
+        mesh = make_terrain(grid_exponent=4, seed=3)
+        report = validate_mesh(mesh)
+        assert report.ok, report.messages
+        assert report.boundary_edges > 0  # open patch, not a closed surface
+
+
+class TestRefineCentroid:
+    def test_counts(self):
+        mesh = make_terrain(grid_exponent=3, seed=1)
+        refined = refine_centroid(mesh)
+        assert refined.num_vertices == mesh.num_vertices + mesh.num_faces
+        assert refined.num_faces == 3 * mesh.num_faces
+
+    def test_preserves_surface_area(self):
+        mesh = make_terrain(grid_exponent=3, seed=1)
+        refined = refine_centroid(mesh)
+        assert refined.surface_area() == pytest.approx(mesh.surface_area())
+
+    def test_refined_is_valid(self):
+        mesh = make_terrain(grid_exponent=3, seed=2)
+        report = validate_mesh(refine_centroid(mesh))
+        assert report.ok, report.messages
+
+    def test_repeated_refinement_scales(self):
+        mesh = make_terrain(grid_exponent=3, seed=0)
+        twice = refine_centroid(refine_centroid(mesh))
+        assert twice.num_faces == 9 * mesh.num_faces
+
+
+class TestSimplifyGrid:
+    def test_reduces_vertex_count(self):
+        mesh = make_terrain(grid_exponent=5, seed=4)
+        simplified = simplify_grid(mesh, target_vertices=200)
+        assert simplified.num_vertices <= 220
+        assert simplified.num_vertices >= 4
+
+    def test_target_above_size_is_identity(self):
+        mesh = make_terrain(grid_exponent=3, seed=4)
+        assert simplify_grid(mesh, 10_000) is mesh
+
+    def test_target_validation(self):
+        mesh = make_terrain(grid_exponent=3, seed=4)
+        with pytest.raises(ValueError):
+            simplify_grid(mesh, 3)
+
+    def test_covers_same_region(self):
+        mesh = make_terrain(grid_exponent=5, extent=(1000.0, 800.0), seed=4)
+        simplified = simplify_grid(mesh, target_vertices=150)
+        orig_x, orig_y = mesh.xy_extent()
+        simp_x, simp_y = simplified.xy_extent()
+        assert simp_x >= 0.8 * orig_x
+        assert simp_y >= 0.8 * orig_y
+
+    def test_simplified_mesh_loads(self):
+        mesh = make_terrain(grid_exponent=5, seed=9)
+        simplified = simplify_grid(mesh, target_vertices=120)
+        report = validate_mesh(simplified)
+        # Clustering may leave minor artefacts but must stay connected
+        # and produce no degenerate faces.
+        assert report.degenerate_faces == 0
+        assert report.is_connected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.floats(0.2, 1.0), st.integers(0, 100))
+def test_diamond_square_always_finite(exponent, roughness, seed):
+    grid = diamond_square(exponent, roughness=roughness, seed=seed)
+    assert np.isfinite(grid).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 50))
+def test_heightfield_mesh_is_structurally_sound(exponent, seed):
+    mesh = heightfield_to_mesh(diamond_square(exponent, seed=seed), 10.0, 10.0)
+    report = validate_mesh(mesh)
+    assert report.ok, report.messages

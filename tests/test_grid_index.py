@@ -1,0 +1,126 @@
+"""Tests for the grid density index (greedy selection substrate)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import GridDensityIndex
+
+
+def _cluster(center, count, spread, rng):
+    cx, cy = center
+    return {
+        int(1000 * cx) + i: (cx + rng.uniform(-spread, spread),
+                             cy + rng.uniform(-spread, spread))
+        for i in range(count)
+    }
+
+
+class TestConstruction:
+    def test_invalid_cell_width_rejected(self):
+        with pytest.raises(ValueError):
+            GridDensityIndex({}, cell_width=0.0)
+        with pytest.raises(ValueError):
+            GridDensityIndex({}, cell_width=-1.0)
+        with pytest.raises(ValueError):
+            GridDensityIndex({}, cell_width=math.inf)
+
+    def test_empty_index(self):
+        index = GridDensityIndex({}, cell_width=1.0)
+        assert not index
+        assert len(index) == 0
+        with pytest.raises(IndexError):
+            index.pick_from_densest()
+
+    def test_duplicate_id_rejected(self):
+        index = GridDensityIndex({1: (0.0, 0.0)}, cell_width=1.0)
+        with pytest.raises(ValueError):
+            index.insert(1, 5.0, 5.0)
+
+    def test_cell_of_floor_semantics(self):
+        index = GridDensityIndex({}, cell_width=2.0)
+        assert index.cell_of(0.0, 0.0) == (0, 0)
+        assert index.cell_of(1.99, 1.99) == (0, 0)
+        assert index.cell_of(2.0, 0.0) == (1, 0)
+        assert index.cell_of(-0.01, 0.0) == (-1, 0)
+
+
+class TestDensestSelection:
+    def test_densest_cell_wins(self):
+        rng = random.Random(0)
+        points = {}
+        points.update(_cluster((0.5, 0.5), 3, 0.1, rng))
+        points.update(_cluster((10.5, 10.5), 8, 0.1, rng))
+        index = GridDensityIndex(points, cell_width=1.0, rng=rng)
+        assert index.densest_cell() == index.cell_of(10.5, 10.5)
+        picked = index.pick_from_densest()
+        assert points[picked][0] > 5  # from the dense cluster
+
+    def test_pick_does_not_remove(self):
+        index = GridDensityIndex({1: (0.5, 0.5)}, cell_width=1.0)
+        assert index.pick_from_densest() == 1
+        assert 1 in index
+
+    def test_density_order_flips_after_removals(self):
+        rng = random.Random(1)
+        points = {}
+        points.update(_cluster((0.5, 0.5), 6, 0.1, rng))
+        points.update(_cluster((10.5, 10.5), 4, 0.1, rng))
+        index = GridDensityIndex(points, cell_width=1.0, rng=rng)
+        dense = index.cell_of(0.5, 0.5)
+        assert index.densest_cell() == dense
+        # Remove points from the dense cluster until the other one wins.
+        dense_ids = [pid for pid, (x, _) in points.items() if x < 5]
+        index.remove_all(dense_ids[:3])
+        assert index.densest_cell() == index.cell_of(10.5, 10.5)
+        index.check_invariants()
+
+
+class TestRemoval:
+    def test_remove_missing_raises(self):
+        index = GridDensityIndex({}, cell_width=1.0)
+        with pytest.raises(KeyError):
+            index.remove(99)
+
+    def test_remove_all_skips_absent(self):
+        index = GridDensityIndex({1: (0, 0), 2: (0, 0)}, cell_width=1.0)
+        index.remove_all([1, 99, 2])
+        assert len(index) == 0
+        assert index.non_empty_cells() == 0
+
+    def test_empty_cell_dropped(self):
+        index = GridDensityIndex({1: (0.5, 0.5), 2: (5.5, 5.5)}, cell_width=1.0)
+        assert index.non_empty_cells() == 2
+        index.remove(1)
+        assert index.non_empty_cells() == 1
+        index.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(0, 500),
+                       st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                       max_size=80),
+       st.floats(0.1, 50.0),
+       st.data())
+def test_random_workload_consistency(points, width, data):
+    index = GridDensityIndex(points, cell_width=width)
+    index.check_invariants()
+    remaining = dict(points)
+    to_remove = data.draw(st.lists(st.sampled_from(sorted(points)), unique=True)
+                          if points else st.just([]))
+    for pid in to_remove:
+        index.remove(pid)
+        del remaining[pid]
+    index.check_invariants()
+    assert len(index) == len(remaining)
+    if remaining:
+        # Densest cell must actually have maximal population.
+        counts = {}
+        for pid, (x, y) in remaining.items():
+            counts.setdefault(index.cell_of(x, y), []).append(pid)
+        best = index.densest_cell()
+        assert len(counts[best]) == max(len(v) for v in counts.values())
+        assert index.pick_from_densest() in counts[best]

@@ -1,0 +1,186 @@
+"""End-to-end integration tests: dataset -> oracle -> applications.
+
+These exercise the full public API path a downstream user follows,
+plus hypothesis property tests asserting the paper's guarantees on
+randomly generated workloads.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FullAPSPBaseline,
+    GeodesicEngine,
+    KAlgo,
+    SEOracle,
+    k_nearest_neighbors,
+    make_terrain,
+    range_query,
+    sample_uniform,
+)
+from repro.core import load_oracle, save_oracle
+from repro.experiments import load_dataset
+
+
+class TestFullPipeline:
+    """The life of a deployment: build, persist, reload, serve queries."""
+
+    def test_build_save_load_serve(self, tmp_path):
+        dataset = load_dataset("sf-small", "tiny")
+        engine = GeodesicEngine(dataset.mesh, dataset.pois,
+                                points_per_edge=1)
+        oracle = SEOracle(engine, epsilon=0.15, seed=6).build()
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+
+        served = load_oracle(path, engine)
+        exact = FullAPSPBaseline(engine).build()
+        n = dataset.num_pois
+        for source in range(n):
+            for target in range(n):
+                approx = served.query(source, target)
+                true = exact.query(source, target)
+                if true == 0:
+                    assert approx == 0
+                else:
+                    assert abs(approx - true) <= 0.15 * true * (1 + 1e-6)
+
+    def test_proximity_stack_on_oracle(self):
+        dataset = load_dataset("bearhead", "tiny")
+        engine = GeodesicEngine(dataset.mesh, dataset.pois,
+                                points_per_edge=1)
+        oracle = SEOracle(engine, epsilon=0.1, seed=2).build()
+        exact = FullAPSPBaseline(engine).build()
+        n = dataset.num_pois
+
+        # kNN through the oracle agrees with exact kNN up to eps ties.
+        for source in (0, n // 2):
+            approx_knn = [p for p, _ in
+                          k_nearest_neighbors(oracle, source, 3, n)]
+            exact_order = [p for p, _ in
+                           k_nearest_neighbors(exact, source, n - 1, n)]
+            # Every oracle-reported neighbour is near the front of the
+            # exact ranking (eps can only reorder near-ties).
+            for poi in approx_knn:
+                assert exact_order.index(poi) < 3 + 3
+
+        # Range queries agree on safely-inside and safely-outside POIs.
+        radius = exact.query(0, n // 2)
+        approx_hits = {p for p, _ in range_query(oracle, 0, radius, n)}
+        for target in range(1, n):
+            true = exact.query(0, target)
+            if true <= radius * (1 - 0.1):
+                assert target in approx_hits
+            if true > radius * (1 + 0.1):
+                assert target not in approx_hits
+
+    def test_oracle_vs_kalgo_consistency(self):
+        """Two completely different code paths, one metric."""
+        dataset = load_dataset("eaglepeak", "tiny")
+        engine = GeodesicEngine(dataset.mesh, dataset.pois,
+                                points_per_edge=1)
+        oracle = SEOracle(engine, epsilon=0.05, seed=3).build()
+        kalgo = KAlgo(dataset.mesh, dataset.pois, epsilon=0.05,
+                      points_per_edge=1)
+        for source, target in [(0, 5), (3, 11), (9, 1)]:
+            se_distance = oracle.query(source, target)
+            kalgo_distance = kalgo.query(source, target)
+            assert se_distance == pytest.approx(kalgo_distance,
+                                                rel=0.05 + 1e-9)
+
+
+class TestStressScenarios:
+    def test_collinear_poi_line(self):
+        """POIs along a straight line: degenerate tree geometry."""
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=0.001, seed=5)
+        from repro.terrain import POI, POISet
+        pois = []
+        for index, x in enumerate(np.linspace(10.0, 90.0, 12)):
+            face = mesh.locate_face(float(x), 50.0)
+            point = mesh.project_onto_surface(float(x), 50.0)
+            pois.append(POI(index=index,
+                            position=tuple(float(c) for c in point),
+                            face_id=face))
+        engine = GeodesicEngine(mesh, POISet(pois), points_per_edge=1)
+        oracle = SEOracle(engine, epsilon=0.1, seed=1).build()
+        # Distances along the line should be ~Euclidean and monotone.
+        previous = 0.0
+        for target in range(1, 12):
+            distance = oracle.query(0, target)
+            assert distance > previous * (1 - 0.1)
+            previous = distance
+
+    def test_tight_cluster_plus_outlier(self):
+        """A dense cluster and one far POI: extreme radius ratios."""
+        mesh = make_terrain(grid_exponent=4, extent=(1000.0, 1000.0),
+                            relief=50.0, seed=6)
+        from repro.terrain import POI, POISet
+        rng = np.random.default_rng(1)
+        pois = []
+        for index in range(10):
+            x = 100.0 + float(rng.uniform(0, 5))
+            y = 100.0 + float(rng.uniform(0, 5))
+            face = mesh.locate_face(x, y)
+            point = mesh.project_onto_surface(x, y)
+            pois.append(POI(index=index,
+                            position=tuple(float(c) for c in point),
+                            face_id=face))
+        face = mesh.locate_face(900.0, 900.0)
+        point = mesh.project_onto_surface(900.0, 900.0)
+        pois.append(POI(index=10, position=tuple(float(c) for c in point),
+                        face_id=face))
+        engine = GeodesicEngine(mesh, POISet(pois), points_per_edge=0)
+        oracle = SEOracle(engine, epsilon=0.2, seed=2).build()
+        # Lemma 2: the height tracks log of the distance spread.
+        assert oracle.height <= 30
+        far = oracle.query(0, 10)
+        near = oracle.query(0, 1)
+        assert far > 50 * near
+
+    def test_epsilon_extremes(self, small_engine):
+        for epsilon in (0.01, 10.0):
+            oracle = SEOracle(small_engine, epsilon=epsilon, seed=1).build()
+            exact = small_engine.distance(0, 5)
+            approx = oracle.query(0, 5)
+            assert abs(approx - exact) <= epsilon * exact * (1 + 1e-6)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 1000), st.integers(5, 14),
+       st.sampled_from([0.1, 0.25, 0.5]))
+def test_property_epsilon_guarantee_random_workloads(seed, n, epsilon):
+    """Paper's headline guarantee on arbitrary random workloads."""
+    mesh = make_terrain(grid_exponent=3, extent=(200.0, 200.0),
+                        relief=40.0, seed=seed)
+    pois = sample_uniform(mesh, n, seed=seed + 1)
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon=epsilon, seed=seed).build()
+    exact = FullAPSPBaseline(engine).build()
+    count = len(pois)
+    for source in range(0, count, 3):
+        for target in range(1, count, 4):
+            true = exact.query(source, target)
+            approx = oracle.query(source, target)
+            if true == 0.0:
+                assert approx == 0.0
+            else:
+                assert abs(approx - true) <= epsilon * true * (1 + 1e-6)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 500))
+def test_property_unique_pair_match_random_workloads(seed):
+    """Theorem 1's unique-covering-pair property on random workloads."""
+    mesh = make_terrain(grid_exponent=3, extent=(150.0, 150.0),
+                        relief=25.0, seed=seed)
+    pois = sample_uniform(mesh, 10, seed=seed + 7)
+    engine = GeodesicEngine(mesh, pois, points_per_edge=0)
+    oracle = SEOracle(engine, epsilon=0.3, seed=seed).build()
+    for source in range(len(pois)):
+        for target in range(len(pois)):
+            oracle.covering_pair(source, target)  # raises unless exactly 1

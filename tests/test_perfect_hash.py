@@ -1,0 +1,126 @@
+"""Tests for the FKS perfect hashing scheme and pair packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import PerfectHashMap, pack_pair, unpack_pair
+
+
+class TestPairPacking:
+    def test_roundtrip(self):
+        assert unpack_pair(pack_pair(3, 9)) == (3, 9)
+
+    def test_order_matters(self):
+        assert pack_pair(1, 2) != pack_pair(2, 1)
+
+    def test_zero_pair(self):
+        assert unpack_pair(pack_pair(0, 0)) == (0, 0)
+
+    def test_large_ids(self):
+        big = (1 << 32) - 1
+        assert unpack_pair(pack_pair(big, big)) == (big, big)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_pair(-1, 0)
+        with pytest.raises(ValueError):
+            pack_pair(1 << 32, 0)
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1))
+    def test_roundtrip_property(self, u, v):
+        assert unpack_pair(pack_pair(u, v)) == (u, v)
+
+    @given(st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)),
+           st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)))
+    def test_packing_is_injective(self, p, q):
+        if p != q:
+            assert pack_pair(*p) != pack_pair(*q)
+
+
+class TestPerfectHashMap:
+    def test_empty_map(self):
+        table = PerfectHashMap([])
+        assert len(table) == 0
+        assert 0 not in table
+        assert table.get(5) is None
+
+    def test_single_entry(self):
+        table = PerfectHashMap([(42, "answer")])
+        assert table[42] == "answer"
+        assert 42 in table
+        assert 41 not in table
+
+    def test_missing_key_raises(self):
+        table = PerfectHashMap([(1, "a")])
+        with pytest.raises(KeyError):
+            table[2]
+
+    def test_get_with_default(self):
+        table = PerfectHashMap([(1, "a")])
+        assert table.get(2, "dflt") == "dflt"
+        assert table.get(1) == "a"
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectHashMap([(1, "a"), (1, "b")])
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectHashMap([(-3, "a")])
+
+    def test_negative_lookup_is_miss(self):
+        table = PerfectHashMap([(1, "a")])
+        assert -1 not in table
+
+    def test_all_entries_retrievable(self):
+        entries = [(i * 7 + 1, i) for i in range(500)]
+        table = PerfectHashMap(entries, seed=3)
+        for key, value in entries:
+            assert table[key] == value
+
+    def test_non_keys_are_misses(self):
+        keys = set(range(0, 1000, 3))
+        table = PerfectHashMap([(k, k) for k in keys])
+        for probe in range(1000):
+            assert (probe in table) == (probe in keys)
+
+    def test_iteration_and_items(self):
+        entries = [(5, "a"), (9, "b"), (2, "c")]
+        table = PerfectHashMap(entries)
+        assert set(table) == {5, 9, 2}
+        assert dict(table.items()) == dict(entries)
+
+    def test_space_is_linear(self):
+        n = 2000
+        table = PerfectHashMap([(i * 13 + 5, None) for i in range(n)])
+        # FKS guarantee: expected sum of squared bucket sizes < 4n.
+        assert table.slot_count() <= 4 * n
+        assert table.size_bytes() > 0
+
+    def test_deterministic_given_seed(self):
+        entries = [(i, i) for i in range(100)]
+        t1 = PerfectHashMap(entries, seed=11)
+        t2 = PerfectHashMap(entries, seed=11)
+        assert t1._a == t2._a and t1._b == t2._b
+
+    def test_packed_pair_keys(self):
+        pairs = [(i, j) for i in range(20) for j in range(20)]
+        table = PerfectHashMap(
+            [(pack_pair(u, v), (u, v)) for u, v in pairs], seed=1
+        )
+        for u, v in pairs:
+            assert table[pack_pair(u, v)] == (u, v)
+        assert pack_pair(25, 25) not in table
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(st.integers(0, 2**40), st.integers(), max_size=150),
+       st.integers(0, 2**16))
+def test_behaves_like_dict(entries, seed):
+    table = PerfectHashMap(list(entries.items()), seed=seed)
+    assert len(table) == len(entries)
+    for key, value in entries.items():
+        assert table[key] == value
+    for probe in list(entries)[:10]:
+        assert table.get(probe + 1, "miss") == entries.get(probe + 1, "miss")

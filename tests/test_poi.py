@@ -1,0 +1,137 @@
+"""Tests for POI management and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import (
+    POI,
+    POISet,
+    make_terrain,
+    pois_from_vertices,
+    random_surface_point,
+    sample_clustered,
+    sample_uniform,
+)
+
+
+@pytest.fixture(scope="module")
+def terrain():
+    return make_terrain(grid_exponent=4, extent=(1000.0, 800.0),
+                        relief=100.0, seed=2)
+
+
+class TestPOI:
+    def test_accessors(self):
+        poi = POI(index=0, position=(1.0, 2.0, 3.0), face_id=5)
+        assert (poi.x, poi.y, poi.z) == (1.0, 2.0, 3.0)
+        np.testing.assert_array_equal(poi.as_array(), [1.0, 2.0, 3.0])
+        assert poi.vertex_id is None
+
+
+class TestPOISet:
+    def test_deduplication(self):
+        pois = [
+            POI(index=0, position=(0.0, 0.0, 0.0), face_id=0),
+            POI(index=1, position=(0.0, 0.0, 0.0), face_id=0),
+            POI(index=2, position=(1.0, 0.0, 0.0), face_id=0),
+        ]
+        merged = POISet(pois)
+        assert len(merged) == 2
+        assert [p.index for p in merged] == [0, 1]  # re-indexed
+
+    def test_positions_shape(self, terrain):
+        pois = sample_uniform(terrain, 10, seed=1)
+        assert pois.positions.shape == (len(pois), 3)
+        assert pois.xy().shape == (len(pois), 2)
+
+    def test_empty_set(self):
+        empty = POISet([])
+        assert len(empty) == 0
+        assert empty.positions.shape == (0, 3)
+
+    def test_subset_reindexes(self, terrain):
+        pois = sample_uniform(terrain, 10, seed=1)
+        sub = pois.subset([3, 7])
+        assert len(sub) == 2
+        assert [p.index for p in sub] == [0, 1]
+
+
+class TestVertexPOIs:
+    def test_all_vertices(self, terrain):
+        pois = pois_from_vertices(terrain)
+        assert len(pois) == terrain.num_vertices
+        assert pois.all_on_vertices()
+
+    def test_positions_match_vertices(self, terrain):
+        pois = pois_from_vertices(terrain, [0, 5, 9])
+        np.testing.assert_allclose(pois.positions,
+                                   terrain.vertices[[0, 5, 9]])
+
+    def test_face_is_incident(self, terrain):
+        pois = pois_from_vertices(terrain, [7])
+        poi = pois[0]
+        assert poi.vertex_id in terrain.faces[poi.face_id]
+
+
+class TestUniformSampling:
+    def test_count(self, terrain):
+        assert len(sample_uniform(terrain, 25, seed=3)) == 25
+
+    def test_negative_count_rejected(self, terrain):
+        with pytest.raises(ValueError):
+            sample_uniform(terrain, -1)
+
+    def test_points_lie_on_their_faces(self, terrain):
+        pois = sample_uniform(terrain, 30, seed=4)
+        for poi in pois:
+            assert terrain.contains_point_2d(poi.face_id, poi.x, poi.y,
+                                             tolerance=1e-6)
+
+    def test_deterministic(self, terrain):
+        a = sample_uniform(terrain, 15, seed=9)
+        b = sample_uniform(terrain, 15, seed=9)
+        np.testing.assert_allclose(a.positions, b.positions)
+
+    def test_not_on_vertices(self, terrain):
+        pois = sample_uniform(terrain, 10, seed=5)
+        assert not pois.all_on_vertices()
+
+    def test_random_surface_point_on_surface(self, terrain):
+        rng = np.random.default_rng(0)
+        position, face_id = random_surface_point(terrain, rng)
+        assert terrain.contains_point_2d(face_id, position[0], position[1],
+                                         tolerance=1e-6)
+        projected = terrain.project_onto_surface(position[0], position[1])
+        assert projected is not None
+        assert abs(projected[2] - position[2]) < 1e-6
+
+
+class TestClusteredSampling:
+    def test_count(self, terrain):
+        pois = sample_clustered(terrain, 40, seed=1)
+        assert len(pois) == 40
+
+    def test_extends_existing(self, terrain):
+        base = sample_uniform(terrain, 10, seed=1)
+        extended = sample_clustered(terrain, 15, seed=2, existing=base)
+        assert len(extended) == 25
+        np.testing.assert_allclose(extended.positions[:10], base.positions)
+
+    def test_points_inside_terrain(self, terrain):
+        pois = sample_clustered(terrain, 30, seed=3)
+        low, high = terrain.bounding_box()
+        assert (pois.positions[:, 0] >= low[0] - 1e-9).all()
+        assert (pois.positions[:, 0] <= high[0] + 1e-9).all()
+
+    def test_heights_interpolated(self, terrain):
+        pois = sample_clustered(terrain, 20, seed=4)
+        for poi in pois:
+            surface = terrain.project_onto_surface(poi.x, poi.y)
+            assert surface is not None
+            assert abs(surface[2] - poi.z) < 1e-6
+
+    def test_clustered_more_concentrated_than_uniform(self, terrain):
+        uniform = sample_uniform(terrain, 120, seed=5)
+        clustered = sample_clustered(terrain, 120, seed=5)
+        assert clustered.xy().std(axis=0).mean() \
+            < uniform.xy().std(axis=0).mean() * 1.2

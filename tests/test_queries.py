@@ -1,0 +1,126 @@
+"""Tests for proximity queries (kNN, range, reverse NN)."""
+
+import pytest
+
+from repro.baselines import FullAPSPBaseline
+from repro.core import SEOracle
+from repro.geodesic import GeodesicEngine
+from repro.queries import (
+    k_nearest_neighbors,
+    nearest_neighbor,
+    range_query,
+    reverse_nearest_neighbors,
+)
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=61)
+    pois = sample_uniform(mesh, 14, seed=62)
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    exact = FullAPSPBaseline(engine).build()
+    oracle = SEOracle(engine, epsilon=0.1, seed=3).build()
+    return len(pois), exact, oracle
+
+
+class TestKNN:
+    def test_k_zero(self, setup):
+        n, exact, _ = setup
+        assert k_nearest_neighbors(exact, 0, 0, n) == []
+
+    def test_negative_k_rejected(self, setup):
+        n, exact, _ = setup
+        with pytest.raises(ValueError):
+            k_nearest_neighbors(exact, 0, -1, n)
+
+    def test_knn_sorted_and_excludes_self(self, setup):
+        n, exact, _ = setup
+        result = k_nearest_neighbors(exact, 3, 5, n)
+        assert len(result) == 5
+        assert all(poi != 3 for poi, _ in result)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_knn_matches_brute_force(self, setup):
+        n, exact, _ = setup
+        result = k_nearest_neighbors(exact, 0, 4, n)
+        brute = sorted(((exact.query(0, j), j) for j in range(1, n)))
+        assert [poi for poi, _ in result] == [j for _, j in brute[:4]]
+
+    def test_k_larger_than_n(self, setup):
+        n, exact, _ = setup
+        result = k_nearest_neighbors(exact, 0, 100, n)
+        assert len(result) == n - 1
+
+    def test_oracle_knn_close_to_exact(self, setup):
+        """kNN through SE: distance values are within eps of truth."""
+        n, exact, oracle = setup
+        approx_nn = k_nearest_neighbors(oracle, 5, 3, n)
+        for poi, approx_dist in approx_nn:
+            true = exact.query(5, poi)
+            assert approx_dist == pytest.approx(true, rel=0.1 + 1e-9)
+
+    def test_nearest_neighbor(self, setup):
+        n, exact, _ = setup
+        poi, distance = nearest_neighbor(exact, 2, n)
+        assert distance == min(exact.query(2, j)
+                               for j in range(n) if j != 2)
+
+
+class TestRange:
+    def test_zero_radius(self, setup):
+        n, exact, _ = setup
+        assert range_query(exact, 0, 0.0, n) == []
+
+    def test_negative_radius_rejected(self, setup):
+        n, exact, _ = setup
+        with pytest.raises(ValueError):
+            range_query(exact, 0, -1.0, n)
+
+    def test_huge_radius_returns_all(self, setup):
+        n, exact, _ = setup
+        result = range_query(exact, 0, 1e12, n)
+        assert len(result) == n - 1
+
+    def test_matches_filter(self, setup):
+        n, exact, _ = setup
+        radius = exact.query(0, 5)
+        result = range_query(exact, 0, radius, n)
+        expected = {j for j in range(n)
+                    if j != 0 and exact.query(0, j) <= radius}
+        assert {poi for poi, _ in result} == expected
+
+    def test_results_sorted(self, setup):
+        n, exact, _ = setup
+        result = range_query(exact, 3, 1e12, n)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+
+class TestReverseNN:
+    def test_rnn_definition(self, setup):
+        n, exact, _ = setup
+        rnn = reverse_nearest_neighbors(exact, 4, n)
+        for candidate in rnn:
+            nn, _ = nearest_neighbor(exact, candidate, n)
+            assert nn == 4
+        # Non-members must have a different nearest neighbour.
+        for candidate in range(n):
+            if candidate == 4 or candidate in rnn:
+                continue
+            nn, _ = nearest_neighbor(exact, candidate, n)
+            assert nn != 4
+
+    def test_rnn_can_be_empty(self, setup):
+        n, exact, _ = setup
+        sizes = [len(reverse_nearest_neighbors(exact, s, n))
+                 for s in range(n)]
+        # Every POI has exactly one NN, so RNN sets partition the POIs.
+        assert sum(sizes) == n
+
+    def test_rnn_on_oracle_is_sane(self, setup):
+        n, exact, oracle = setup
+        rnn = reverse_nearest_neighbors(oracle, 1, n)
+        assert all(0 <= poi < n and poi != 1 for poi in rnn)

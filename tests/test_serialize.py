@@ -1,0 +1,112 @@
+"""Tests for oracle persistence (save/load round-trips)."""
+
+import json
+
+import pytest
+
+from repro.core import SEOracle, load_oracle, save_oracle, \
+    workload_fingerprint
+from repro.geodesic import GeodesicEngine
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture(scope="module")
+def workload():
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=81)
+    pois = sample_uniform(mesh, 14, seed=82)
+    return GeodesicEngine(mesh, pois, points_per_edge=1)
+
+
+@pytest.fixture(scope="module")
+def built(workload):
+    return SEOracle(workload, epsilon=0.2, seed=4).build()
+
+
+class TestSave:
+    def test_unbuilt_oracle_rejected(self, workload, tmp_path):
+        fresh = SEOracle(workload, epsilon=0.2)
+        with pytest.raises(ValueError):
+            save_oracle(fresh, tmp_path / "o.json")
+
+    def test_file_is_valid_json(self, built, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-se-oracle"
+        assert document["epsilon"] == 0.2
+        assert len(document["pairs"]) == built.num_pairs
+
+
+class TestLoad:
+    def test_roundtrip_answers_identically(self, built, workload, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        loaded = load_oracle(path, workload)
+        n = workload.num_pois
+        for source in range(n):
+            for target in range(n):
+                assert loaded.query(source, target) \
+                    == built.query(source, target)
+
+    def test_roundtrip_preserves_structure(self, built, workload, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        loaded = load_oracle(path, workload)
+        assert loaded.height == built.height
+        assert loaded.num_pairs == built.num_pairs
+        assert loaded.epsilon == built.epsilon
+        assert loaded.size_bytes() > 0
+        loaded.tree.check_structure(workload.num_pois)
+
+    def test_wrong_workload_rejected(self, built, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        other_mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                                  relief=15.0, seed=999)
+        other = GeodesicEngine(other_mesh,
+                               sample_uniform(other_mesh, 14, seed=1),
+                               points_per_edge=1)
+        with pytest.raises(ValueError):
+            load_oracle(path, other)
+
+    def test_non_strict_skips_fingerprint(self, built, workload, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        document = json.loads(path.read_text())
+        document["fingerprint"] = "bogus"
+        path.write_text(json.dumps(document))
+        loaded = load_oracle(path, workload, strict=False)
+        assert loaded.query(0, 1) == built.query(0, 1)
+
+    def test_wrong_format_rejected(self, workload, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_oracle(path, workload)
+
+    def test_wrong_version_rejected(self, built, workload, tmp_path):
+        path = tmp_path / "oracle.json"
+        save_oracle(built, path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError):
+            load_oracle(path, workload)
+
+
+class TestFingerprint:
+    def test_deterministic(self, workload):
+        assert workload_fingerprint(workload) \
+            == workload_fingerprint(workload)
+
+    def test_sensitive_to_density(self, workload):
+        other = GeodesicEngine(workload.mesh, workload.pois,
+                               points_per_edge=2)
+        assert workload_fingerprint(workload) != workload_fingerprint(other)
+
+    def test_sensitive_to_pois(self, workload):
+        other = GeodesicEngine(workload.mesh,
+                               sample_uniform(workload.mesh, 14, seed=5),
+                               points_per_edge=1)
+        assert workload_fingerprint(workload) != workload_fingerprint(other)

@@ -1,0 +1,114 @@
+"""Tests for OFF / OBJ mesh I/O."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import (
+    MeshError,
+    TriangleMesh,
+    make_terrain,
+    read_mesh,
+    read_obj,
+    read_off,
+    write_mesh,
+    write_obj,
+    write_off,
+)
+
+
+@pytest.fixture
+def small_mesh():
+    return make_terrain(grid_exponent=2, extent=(10.0, 10.0), seed=1)
+
+
+class TestOFF:
+    def test_roundtrip(self, small_mesh, tmp_path):
+        path = tmp_path / "terrain.off"
+        write_off(small_mesh, path)
+        loaded = read_off(path)
+        np.testing.assert_allclose(loaded.vertices, small_mesh.vertices)
+        np.testing.assert_array_equal(loaded.faces, small_mesh.faces)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.off"
+        path.write_text("3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n")
+        with pytest.raises(MeshError):
+            read_off(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.off"
+        path.write_text("OFF\n3 1 0\n0 0 0\n1 0 0\n")
+        with pytest.raises(MeshError):
+            read_off(path)
+
+    def test_non_triangular_face(self, tmp_path):
+        path = tmp_path / "quad.off"
+        path.write_text(
+            "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n"
+        )
+        with pytest.raises(MeshError):
+            read_off(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "comment.off"
+        path.write_text(
+            "OFF # header\n# full comment line\n3 1 0\n"
+            "0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"
+        )
+        mesh = read_off(path)
+        assert mesh.num_vertices == 3
+        assert mesh.num_faces == 1
+
+
+class TestOBJ:
+    def test_roundtrip(self, small_mesh, tmp_path):
+        path = tmp_path / "terrain.obj"
+        write_obj(small_mesh, path)
+        loaded = read_obj(path)
+        np.testing.assert_allclose(loaded.vertices, small_mesh.vertices)
+        np.testing.assert_array_equal(loaded.faces, small_mesh.faces)
+
+    def test_slash_indices(self, tmp_path):
+        path = tmp_path / "tex.obj"
+        path.write_text(
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nf 1/1/1 2/2/1 3/3/1\n"
+        )
+        mesh = read_obj(path)
+        assert mesh.num_faces == 1
+        np.testing.assert_array_equal(mesh.faces[0], [0, 1, 2])
+
+    def test_negative_indices(self, tmp_path):
+        path = tmp_path / "neg.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n")
+        mesh = read_obj(path)
+        np.testing.assert_array_equal(mesh.faces[0], [0, 1, 2])
+
+    def test_quad_face_rejected(self, tmp_path):
+        path = tmp_path / "quad.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n")
+        with pytest.raises(MeshError):
+            read_obj(path)
+
+    def test_short_vertex_rejected(self, tmp_path):
+        path = tmp_path / "short.obj"
+        path.write_text("v 0 0\n")
+        with pytest.raises(MeshError):
+            read_obj(path)
+
+
+class TestDispatch:
+    def test_read_write_mesh_off(self, small_mesh, tmp_path):
+        path = tmp_path / "t.off"
+        write_mesh(small_mesh, path)
+        assert read_mesh(path).num_vertices == small_mesh.num_vertices
+
+    def test_read_write_mesh_obj(self, small_mesh, tmp_path):
+        path = tmp_path / "t.obj"
+        write_mesh(small_mesh, path)
+        assert read_mesh(path).num_vertices == small_mesh.num_vertices
+
+    def test_unknown_extension(self, small_mesh, tmp_path):
+        with pytest.raises(MeshError):
+            write_mesh(small_mesh, tmp_path / "t.stl")
+        with pytest.raises(MeshError):
+            read_mesh(tmp_path / "t.ply")

@@ -1,0 +1,149 @@
+"""Tests for weighted metrics (slope penalty, elevation gain)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SEOracle
+from repro.geodesic import (
+    ElevationGainWeight,
+    GeodesicEngine,
+    GeodesicGraph,
+    SlopePenaltyWeight,
+    euclidean_weight,
+)
+from repro.terrain import TriangleMesh, make_terrain, pois_from_vertices
+
+
+def _steep_step_mesh():
+    """Two flat shelves joined by a cliff: crossing is steep."""
+    vertices = np.array([
+        [0.0, 0.0, 0.0], [1.0, 0.0, 0.0],       # low shelf
+        [1.2, 0.0, 5.0], [2.2, 0.0, 5.0],       # high shelf
+        [0.0, 1.0, 0.0], [1.0, 1.0, 0.0],
+        [1.2, 1.0, 5.0], [2.2, 1.0, 5.0],
+    ])
+    faces = np.array([
+        [0, 1, 5], [0, 5, 4],
+        [1, 2, 6], [1, 6, 5],   # the cliff
+        [2, 3, 7], [2, 7, 6],
+    ])
+    return TriangleMesh(vertices, faces)
+
+
+class TestEuclideanWeight:
+    def test_matches_norm(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([3.0, 4.0, 12.0])
+        assert euclidean_weight(a, b) == pytest.approx(13.0)
+
+    def test_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert euclidean_weight(a, a) == 0.0
+
+
+class TestSlopePenaltyWeight:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SlopePenaltyWeight(max_slope_deg=0.0)
+        with pytest.raises(ValueError):
+            SlopePenaltyWeight(max_slope_deg=120.0)
+        with pytest.raises(ValueError):
+            SlopePenaltyWeight(penalty=-1.0)
+
+    def test_flat_edge_costs_length(self):
+        weight = SlopePenaltyWeight(max_slope_deg=30.0, penalty=2.0)
+        a = np.zeros(3)
+        b = np.array([5.0, 0.0, 0.0])
+        assert weight(a, b) == pytest.approx(5.0)
+
+    def test_steeper_costs_more(self):
+        weight = SlopePenaltyWeight(max_slope_deg=60.0, penalty=1.0)
+        a = np.zeros(3)
+        gentle = weight(a, np.array([10.0, 0.0, 1.0]))
+        steep = weight(a, np.array([10.0, 0.0, 8.0]))
+        gentle_len = math.hypot(10.0, 1.0)
+        steep_len = math.hypot(10.0, 8.0)
+        assert gentle / gentle_len < steep / steep_len
+
+    def test_cutoff_is_infinite(self):
+        weight = SlopePenaltyWeight(max_slope_deg=30.0)
+        assert math.isinf(weight(np.zeros(3), np.array([0.1, 0.0, 1.0])))
+
+    def test_symmetric(self):
+        weight = SlopePenaltyWeight(max_slope_deg=45.0, penalty=0.5)
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([3.0, 1.0, 2.0])
+        assert weight(a, b) == pytest.approx(weight(b, a))
+
+    def test_coincident_points(self):
+        weight = SlopePenaltyWeight()
+        a = np.array([1.0, 1.0, 1.0])
+        assert weight(a, a) == 0.0
+
+
+class TestElevationGainWeight:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElevationGainWeight(gain_cost=-0.1)
+
+    def test_flat_equals_length(self):
+        weight = ElevationGainWeight(gain_cost=5.0)
+        assert weight(np.zeros(3), np.array([2.0, 0.0, 0.0])) \
+            == pytest.approx(2.0)
+
+    def test_climb_charged(self):
+        weight = ElevationGainWeight(gain_cost=10.0)
+        cost = weight(np.zeros(3), np.array([0.0, 0.0, 3.0]))
+        assert cost == pytest.approx(3.0 + 30.0)
+
+    def test_symmetric(self):
+        weight = ElevationGainWeight(gain_cost=2.0)
+        a = np.array([0.0, 0.0, 5.0])
+        b = np.array([4.0, 0.0, 0.0])
+        assert weight(a, b) == pytest.approx(weight(b, a))
+
+
+class TestWeightedGraph:
+    def test_impassable_edges_removed(self):
+        mesh = _steep_step_mesh()
+        plain = GeodesicGraph(mesh, points_per_edge=0)
+        restricted = GeodesicGraph(
+            mesh, points_per_edge=0,
+            weight_fn=SlopePenaltyWeight(max_slope_deg=30.0))
+        assert restricted.num_edges < plain.num_edges
+
+    def test_cliff_disconnects_shelves(self):
+        mesh = _steep_step_mesh()
+        pois = pois_from_vertices(mesh, [0, 3])  # one per shelf
+        engine = GeodesicEngine(
+            mesh, pois, points_per_edge=0,
+            weight_fn=SlopePenaltyWeight(max_slope_deg=30.0))
+        assert math.isinf(engine.distance(0, 1))
+
+    def test_weighted_distances_dominate_euclidean(self):
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=30.0, seed=91)
+        pois = pois_from_vertices(mesh, [0, mesh.num_vertices - 1])
+        flat = GeodesicEngine(mesh, pois, points_per_edge=0)
+        hilly = GeodesicEngine(mesh, pois, points_per_edge=0,
+                               weight_fn=ElevationGainWeight(gain_cost=3.0))
+        assert hilly.distance(0, 1) >= flat.distance(0, 1)
+
+    def test_oracle_on_weighted_metric(self):
+        """The SE guarantee holds relative to any (metric) weight model."""
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=30.0, seed=92)
+        from repro.terrain import sample_uniform
+        pois = sample_uniform(mesh, 12, seed=93)
+        engine = GeodesicEngine(mesh, pois, points_per_edge=1,
+                                weight_fn=ElevationGainWeight(gain_cost=2.0))
+        oracle = SEOracle(engine, epsilon=0.25, seed=1).build()
+        for source in range(0, 12, 2):
+            for target in range(1, 12, 3):
+                if source == target:
+                    continue
+                approx = oracle.query(source, target)
+                exact = engine.distance(source, target)
+                assert abs(approx - exact) <= 0.25 * exact * (1 + 1e-6)
