@@ -49,7 +49,19 @@ def main() -> None:
               f"[{oracle_us:7.1f} us]   exact {exact:8.2f} m "
               f"[{exact_ms:6.2f} ms]   error {error:.4f}")
 
-    # 5. The geodesic path itself (for plotting / export).
+    # 5. Bulk workloads go through the batched API: the engine groups
+    #    the pairs by source so each distinct source runs one
+    #    multi-target search instead of one search per pair.
+    pairs = [(0, t) for t in range(1, 11)] + [(5, 17), (5, 23), (12, 3)]
+    engine.reset_counters()
+    started = time.perf_counter()
+    bulk = engine.query_many(pairs)
+    bulk_ms = (time.perf_counter() - started) * 1e3
+    print(f"query_many: {len(pairs)} exact distances in {bulk_ms:.2f} ms "
+          f"({engine.ssad_calls} searches); "
+          f"d(0, {pairs[0][1]}) = {bulk[0]:.2f} m")
+
+    # 6. The geodesic path itself (for plotting / export).
     distance, path = engine.shortest_path(0, 29)
     print(f"path 0 -> 29: {len(path)} segments, length {distance:.2f} m")
 

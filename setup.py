@@ -1,3 +1,28 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-terrain-distance-oracle",
+    version="0.2.0",
+    description=("Reproduction of 'Distance Oracle on Terrain Surface' "
+                 "(Wei, Wong, Long & Mount, SIGMOD 2017): the SE "
+                 "space-efficient geodesic distance oracle, its "
+                 "baselines and experiments"),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        # The Dijkstra kernel uses scipy.sparse.csgraph when available.
+        "fast": ["scipy>=1.8"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

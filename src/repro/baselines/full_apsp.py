@@ -40,9 +40,9 @@ class FullAPSPBaseline:
         started = time.perf_counter()
         calls_before = engine.ssad_calls
         matrix = np.full((n, n), np.inf)
-        for source in range(n):
-            for target, distance in engine.distances_from_poi(source).items():
-                matrix[source, target] = distance
+        rows = engine.distances_many(range(n))
+        for source, row in enumerate(rows):
+            matrix[source, list(row)] = list(row.values())
         self._matrix = matrix
         self.stats.total_seconds = time.perf_counter() - started
         self.stats.ssad_calls = engine.ssad_calls - calls_before

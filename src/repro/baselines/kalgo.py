@@ -71,11 +71,15 @@ class KAlgo:
             return 0.0
         if self._bidirectional:
             return bidirectional_distance(
-                self._engine.graph.adjacency,
+                self._engine.graph.csr,
                 self._engine.poi_node(source),
                 self._engine.poi_node(target),
             )
         return self._engine.distance(source, target)
+
+    def query_many(self, pairs) -> list:
+        """Batched P2P queries (grouped multi-target searches)."""
+        return self._engine.query_many(pairs)
 
     def query_xy(self, source_xy: Tuple[float, float],
                  target_xy: Tuple[float, float]) -> float:

@@ -102,11 +102,12 @@ class SPOracle:
         sites = self._graph.num_nodes
         tick = time.perf_counter()
         matrix = np.full((sites, sites), np.inf, dtype=np.float32)
-        adjacency = self._graph.adjacency
+        csr = self._graph.csr
         for source in range(sites):
-            result = dijkstra(adjacency, source)
-            for node, distance in result.distances.items():
-                matrix[source, node] = distance
+            result = dijkstra(csr, source)
+            # Settled ids/dists are parallel arrays: one fancy-indexed
+            # row assignment replaces the per-node dict walk.
+            matrix[source, result.settled_ids] = result.settled_dists
         self._matrix = matrix
         self.stats.apsp_seconds = time.perf_counter() - tick
         self.stats.total_seconds = time.perf_counter() - started

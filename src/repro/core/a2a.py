@@ -169,19 +169,32 @@ class A2AOracle:
         """
         if not self._built:
             raise RuntimeError("oracle not built; call build() first")
-        source = self._lift(*source_xy)
-        target = self._lift(*target_xy)
+        return self._best_through_sites(self._site_hops(source_xy),
+                                        self._site_hops(target_xy))
+
+    def _site_hops(self, xy: Tuple[float, float]
+                   ) -> List[Tuple[float, int]]:
+        """``N(x)`` as ``(hop distance, site)`` pairs, hop-sorted."""
+        x, y = float(xy[0]), float(xy[1])
+        point = self._lift(x, y)
         positions = self._sites.positions
-        # Sort both neighbourhoods by hop distance: once the combined
-        # hops alone exceed the incumbent, every later combination is
-        # worse too, so the scan can cut off early.
-        hops_s = sorted((_euclid(source, positions[s]), s)
-                        for s in self.neighborhood(*source_xy))
-        hops_t = sorted((_euclid(target, positions[t]), t)
-                        for t in self.neighborhood(*target_xy))
+        return sorted((_euclid(point, positions[s]), s)
+                      for s in self.neighborhood(x, y))
+
+    def _best_through_sites(self, hops_s, hops_t) -> float:
+        """``min d(s,p) + d~(p,q) + d(q,t)`` over two hop-sorted site sets.
+
+        Both neighbourhoods are sorted by hop distance: once the
+        combined hops alone exceed the incumbent, every later
+        combination is worse too, so the scan can cut off early.
+        Returns ``inf`` when either neighbourhood is empty.
+        """
+        if not hops_s or not hops_t:
+            return math.inf
         best = math.inf
+        min_hop_t = hops_t[0][0]
         for hop_s, site_s in hops_s:
-            if hop_s + hops_t[0][0] >= best:
+            if hop_s + min_hop_t >= best:
                 break
             for hop_t, site_t in hops_t:
                 if hop_s + hop_t >= best:
@@ -190,6 +203,29 @@ class A2AOracle:
                 if total < best:
                     best = total
         return best
+
+    def query_many(self, pairs_xy: Sequence[Tuple[Tuple[float, float],
+                                                  Tuple[float, float]]]
+                   ) -> List[float]:
+        """Batched A2A queries.
+
+        Surface lifts and site neighbourhoods are resolved per distinct
+        endpoint (shared across pairs touching the same planar point),
+        then each pair runs the usual hop + SE-oracle minimisation.
+        """
+        if not self._built:
+            raise RuntimeError("oracle not built; call build() first")
+        hops_cache: Dict[Tuple[float, float], List[Tuple[float, int]]] = {}
+
+        def hops_of(xy) -> List[Tuple[float, int]]:
+            key = (float(xy[0]), float(xy[1]))
+            if key not in hops_cache:
+                hops_cache[key] = self._site_hops(key)
+            return hops_cache[key]
+
+        return [self._best_through_sites(hops_of(source_xy),
+                                         hops_of(target_xy))
+                for source_xy, target_xy in pairs_xy]
 
     def query_p2p(self, pois: POISet, source: int, target: int) -> float:
         """P2P query through the POI-independent oracle (Appendix D)."""

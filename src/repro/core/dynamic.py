@@ -17,6 +17,7 @@ External POI ids are stable across rebuilds.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 from ..geodesic.engine import GeodesicEngine
@@ -176,6 +177,41 @@ class DynamicSEOracle:
             self._overlay_cache[key] = self._engine.node_distance(node_a,
                                                                   node_b)
         return self._overlay_cache[key]
+
+    def query_many(self, pairs) -> list:
+        """Batched queries over live POI pairs.
+
+        Base-only pairs go straight to the SE oracle's O(h) lookup.
+        Overlay-touching pairs are grouped by their first endpoint so
+        each distinct overlay source runs *one* multi-target SSAD on
+        the engine (results land in the memo cache), instead of one
+        search per pair.
+        """
+        self._require_built()
+        pairs = [(int(a), int(b)) for a, b in pairs]
+        # Collect the cache misses that need an SSAD, grouped by source.
+        by_source: Dict[int, set] = {}
+        for poi_a, poi_b in pairs:
+            for poi_id in (poi_a, poi_b):
+                if poi_id not in self._records or poi_id in self._deleted:
+                    raise KeyError(f"unknown or deleted POI id: {poi_id}")
+            if poi_a == poi_b:
+                continue
+            if poi_a not in self._overlay and poi_b not in self._overlay:
+                continue
+            key = (min(poi_a, poi_b), max(poi_a, poi_b))
+            if key not in self._overlay_cache:
+                by_source.setdefault(key[0], set()).add(key[1])
+        for poi_a, poi_bs in by_source.items():
+            node_a = self._node_of(poi_a)
+            node_of_b = {self._node_of(b): b for b in poi_bs}
+            result = self._engine.distances_from_node(
+                node_a, targets=list(node_of_b))
+            distances = result.distances
+            for node_b, poi_b in node_of_b.items():
+                self._overlay_cache[(poi_a, poi_b)] = distances.get(
+                    node_b, math.inf)
+        return [self.query(poi_a, poi_b) for poi_a, poi_b in pairs]
 
     def _node_of(self, poi_id: int) -> int:
         if poi_id in self._overlay:

@@ -57,6 +57,7 @@ class BuildStats:
     pairs_stored: int = 0
     ssad_calls: int = 0
     settled_nodes: int = 0
+    heap_pushes: int = 0
     enhanced_lookup_fallbacks: int = 0
 
 
@@ -182,6 +183,7 @@ class SEOracle:
         stats.pairs_stored = len(pair_set)
         stats.ssad_calls = engine.ssad_calls
         stats.settled_nodes = engine.settled_nodes
+        stats.heap_pushes = engine.heap_pushes
         stats.enhanced_lookup_fallbacks = fallbacks
         return self
 

@@ -12,14 +12,21 @@ scratch:
   two-level perfect hashing for node-pair and enhanced-edge lookup;
 * :class:`~repro.datastructures.grid_index.GridDensityIndex` — the
   grid + B+-tree + max-heap combination of Implementation Detail 1.
+
+On top of those, :class:`~repro.datastructures.csr.CSRGraph` is the
+flat NumPy-backed adjacency substrate (frozen CSR core + dynamic site
+overlay) every shortest-path search runs on.
 """
 
 from .binheap import IndexedMaxHeap, IndexedMinHeap
 from .bplustree import BPlusTree
+from .csr import CSRGraph, DijkstraScratch
 from .grid_index import GridDensityIndex
 from .perfect_hash import PerfectHashMap, pack_pair, unpack_pair
 
 __all__ = [
+    "CSRGraph",
+    "DijkstraScratch",
     "IndexedMinHeap",
     "IndexedMaxHeap",
     "BPlusTree",

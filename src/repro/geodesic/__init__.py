@@ -1,6 +1,11 @@
 """Geodesic substrate: Steiner graphs and SSAD shortest-path search."""
 
-from .dijkstra import DijkstraResult, bidirectional_distance, dijkstra
+from .dijkstra import (
+    DijkstraResult,
+    bidirectional_distance,
+    dijkstra,
+    dijkstra_reference,
+)
 from .engine import GeodesicEngine
 from .graph import GeodesicGraph
 from .steiner import SteinerPlacement, place_steiner_points
@@ -19,6 +24,7 @@ __all__ = [
     "DijkstraResult",
     "bidirectional_distance",
     "dijkstra",
+    "dijkstra_reference",
     "GeodesicEngine",
     "GeodesicGraph",
     "SteinerPlacement",

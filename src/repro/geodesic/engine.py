@@ -6,19 +6,27 @@ algorithms need:
 
 * :meth:`distances_from_poi` — the two SSAD variants (cover-all /
   radius-bounded) returning geodesic distances *to POIs*;
+* :meth:`distances_many` / :meth:`query_many` — batched forms of the
+  above: many sources per call (build-time SSAD sweeps), or many
+  point-to-point queries grouped so each distinct source runs one
+  multi-target search instead of one search per pair;
+* :meth:`multi_source_distances` — a single search seeded from several
+  nodes at once (nearest-site style workloads);
 * :meth:`distance` — a single P2P geodesic distance (ground truth for
   error measurement, and the naive construction's workhorse);
 * :meth:`shortest_path` — path reconstruction for examples;
 * transient attachment of arbitrary surface points (A2A queries).
 
-The engine also counts SSAD invocations and settled nodes, which the
+All searches run on the graph's frozen CSR core (the POI set is frozen
+into it at construction); see :mod:`repro.geodesic.graph`.  The engine
+also counts SSAD invocations, settled nodes and heap pushes, which the
 benchmark harness reports as construction-effort metrics.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +36,19 @@ from .dijkstra import DijkstraResult, dijkstra
 from .graph import GeodesicGraph
 
 __all__ = ["GeodesicEngine"]
+
+
+def _single_target_distance(result: DijkstraResult, target: int) -> float:
+    """Read a single-target search's answer without building the dict.
+
+    The kernel stops immediately after settling ``single_target``, so
+    when the target was reached it is the last settled node; otherwise
+    the component drained without it.
+    """
+    ids = result.settled_ids
+    if ids and ids[-1] == target:
+        return result.settled_dists[-1]
+    return math.inf
 
 
 class GeodesicEngine:
@@ -56,6 +77,7 @@ class GeodesicEngine:
             self._node_to_poi[node] = poi_index
         self.ssad_calls = 0
         self.settled_nodes = 0
+        self.heap_pushes = 0
 
     # ------------------------------------------------------------------
     # accessors
@@ -83,6 +105,7 @@ class GeodesicEngine:
     def reset_counters(self) -> None:
         self.ssad_calls = 0
         self.settled_nodes = 0
+        self.heap_pushes = 0
 
     # ------------------------------------------------------------------
     # SSAD variants (Implementation Detail 2)
@@ -98,26 +121,92 @@ class GeodesicEngine:
         *version 1*: the search runs until every POI is settled.
         """
         source = self._poi_nodes[poi_index]
+        csr = self._graph.csr
         if radius is None:
-            result = dijkstra(self._graph.adjacency, source,
-                              targets=self._poi_nodes)
+            result = dijkstra(csr, source, targets=self._poi_nodes)
         else:
-            result = dijkstra(self._graph.adjacency, source, radius=radius)
+            result = dijkstra(csr, source, radius=radius)
         self._account(result)
         distances: Dict[int, float] = {}
-        for node, dist in result.distances.items():
-            poi = self._node_to_poi.get(node)
+        node_to_poi = self._node_to_poi
+        for node, dist in zip(result.settled_ids, result.settled_dists):
+            poi = node_to_poi.get(node)
             if poi is not None:
                 distances[poi] = dist
         return distances
+
+    def distances_many(self, poi_indices: Sequence[int],
+                       radius: Union[None, float,
+                                     Sequence[Optional[float]]] = None
+                       ) -> List[Dict[int, float]]:
+        """Batched :meth:`distances_from_poi` over many sources.
+
+        ``radius`` may be a single value shared by every source or a
+        per-source sequence (entries may be ``None`` for cover-all
+        mode) — the form the enhanced-edge builder uses to sweep one
+        partition-tree layer per call.  Currently a convenience loop
+        (per-search scratch pooling already amortises the buffers);
+        the batch boundary is where a vectorised or sharded bulk
+        primitive slots in without touching call sites.
+        """
+        poi_indices = list(poi_indices)
+        if radius is None or isinstance(radius, (int, float)):
+            radii: List[Optional[float]] = [radius] * len(poi_indices)
+        else:
+            radii = list(radius)
+            if len(radii) != len(poi_indices):
+                raise ValueError("radius sequence must match poi_indices")
+        return [self.distances_from_poi(poi, radius=r)
+                for poi, r in zip(poi_indices, radii)]
+
+    def query_many(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Batched P2P distances for many ``(source, target)`` POI pairs.
+
+        Pairs are canonicalized (the metric is symmetric) and grouped
+        by source: each distinct source runs one multi-target search
+        covering all of its targets, instead of one early-exit search
+        per pair.  Returns distances aligned with the input order
+        (``inf`` for disconnected pairs).
+        """
+        pairs = [(int(a), int(b)) for a, b in pairs]
+        by_source: Dict[int, set] = {}
+        for a, b in pairs:
+            if a != b:
+                low, high = (a, b) if a < b else (b, a)
+                by_source.setdefault(low, set()).add(high)
+        answers: Dict[Tuple[int, int], float] = {}
+        csr = self._graph.csr
+        for a, targets in by_source.items():
+            source = self._poi_nodes[a]
+            target_nodes = {self._poi_nodes[b]: b for b in targets}
+            result = dijkstra(csr, source, targets=list(target_nodes))
+            self._account(result)
+            distances = result.distances
+            for node, b in target_nodes.items():
+                answers[(a, b)] = distances.get(node, math.inf)
+        return [0.0 if a == b else answers[(a, b) if a < b else (b, a)]
+                for a, b in pairs]
 
     def distances_from_node(self, node: int,
                             radius: Optional[float] = None,
                             targets: Optional[Sequence[int]] = None
                             ) -> DijkstraResult:
         """Raw node-level SSAD (used by the A2A oracle over Steiner sites)."""
-        result = dijkstra(self._graph.adjacency, node, radius=radius,
+        result = dijkstra(self._graph.csr, node, radius=radius,
                           targets=targets)
+        self._account(result)
+        return result
+
+    def multi_source_distances(self, nodes: Sequence[int],
+                               radius: Optional[float] = None
+                               ) -> DijkstraResult:
+        """One search seeded from several nodes at distance 0.
+
+        Settles each reachable node at its distance to the *nearest*
+        source — the bulk primitive for nearest-site assignment and
+        Voronoi-style partitions.
+        """
+        result = dijkstra(self._graph.csr, list(nodes), radius=radius)
         self._account(result)
         return result
 
@@ -127,17 +216,16 @@ class GeodesicEngine:
             return 0.0
         source = self._poi_nodes[poi_a]
         target = self._poi_nodes[poi_b]
-        result = dijkstra(self._graph.adjacency, source,
-                          single_target=target)
+        result = dijkstra(self._graph.csr, source, single_target=target)
         self._account(result)
-        return result.distances.get(target, math.inf)
+        return _single_target_distance(result, target)
 
     def shortest_path(self, poi_a: int, poi_b: int
                       ) -> Tuple[float, np.ndarray]:
         """Distance and polyline of the geodesic path between two POIs."""
         source = self._poi_nodes[poi_a]
         target = self._poi_nodes[poi_b]
-        result = dijkstra(self._graph.adjacency, source,
+        result = dijkstra(self._graph.csr, source,
                           single_target=target, return_parents=True)
         self._account(result)
         if target not in result.distances:
@@ -171,10 +259,10 @@ class GeodesicEngine:
         """Geodesic distance between two raw graph nodes."""
         if node_a == node_b:
             return 0.0
-        result = dijkstra(self._graph.adjacency, node_a,
+        result = dijkstra(self._graph.csr, node_a,
                           single_target=node_b)
         self._account(result)
-        return result.distances.get(node_b, math.inf)
+        return _single_target_distance(result, node_b)
 
     # ------------------------------------------------------------------
     # internals
@@ -182,3 +270,4 @@ class GeodesicEngine:
     def _account(self, result: DijkstraResult) -> None:
         self.ssad_calls += 1
         self.settled_nodes += result.settled_count
+        self.heap_pushes += result.heap_pushes

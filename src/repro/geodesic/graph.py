@@ -19,6 +19,24 @@ Attached sites connect to every boundary node of their containing face
 (and to other sites on the same face), which is how the paper's SSAD
 handles POIs: "all points in P on each face expanded together with the
 vertex are computed with their geodesic distances".
+
+Graph representation (CSR + overlay)
+------------------------------------
+Adjacency is held twice, deliberately:
+
+* ``self.csr`` — a :class:`~repro.datastructures.csr.CSRGraph`: the
+  mesh + Steiner section frozen into flat NumPy ``indptr`` / ``indices``
+  / ``weights`` arrays, plus a small dynamic overlay for sites attached
+  afterwards.  This is what the Dijkstra kernel iterates, and what any
+  future vectorised or sharded consumer should read.  Callers that
+  attach a stable batch of sites (the engine attaching its POI set)
+  call :meth:`freeze_sites` to merge the overlay into the static
+  section, so build-time SSADs run entirely on frozen arrays.
+* ``self.adjacency`` — the original ``(neighbors, weights)``
+  list-of-lists pair, kept live as a compatibility view for
+  out-of-tree callers and as the rebuild source when the CSR needs
+  refreezing.  Mutations (:meth:`attach_site` /
+  :meth:`detach_last_sites`) update both representations.
 """
 
 from __future__ import annotations
@@ -28,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..datastructures.csr import CSRGraph
 from ..terrain.mesh import TriangleMesh
 from ..terrain.poi import POISet
 from .steiner import place_steiner_points
@@ -47,10 +66,11 @@ class GeodesicGraph:
 
     Notes
     -----
-    The adjacency is stored as parallel lists (``neighbors[u]`` /
-    ``weights[u]``), grown in place when sites are attached.  The graph
-    never removes nodes; callers that need a transient attachment (the
-    A2A query path) use :meth:`attach_site` + :meth:`detach_last_sites`.
+    The adjacency is stored as a frozen CSR core plus a dynamic site
+    overlay (see the module docstring), with the legacy parallel-list
+    form kept as a live compatibility view.  The graph never removes
+    static nodes; callers that need a transient attachment (the A2A
+    query path) use :meth:`attach_site` + :meth:`detach_last_sites`.
     """
 
     def __init__(self, mesh: TriangleMesh, points_per_edge: int = 2,
@@ -69,8 +89,10 @@ class GeodesicGraph:
         self._weights: List[List[float]] = [[] for _ in range(base)]
         self._face_boundary: List[List[int]] = []
         self._sites_by_face: Dict[int, List[int]] = {}
+        self._face_of_site: Dict[int, int] = {}
         self._num_edges = 0
         self._build()
+        self._csr = CSRGraph.from_lists(self._neighbors, self._weights)
 
     # ------------------------------------------------------------------
     # construction
@@ -155,8 +177,18 @@ class GeodesicGraph:
         return self._neighbors[node], self._weights[node]
 
     @property
+    def csr(self) -> CSRGraph:
+        """The CSR core the Dijkstra kernel runs on."""
+        return self._csr
+
+    @property
     def adjacency(self) -> Tuple[List[List[int]], List[List[float]]]:
-        """Raw adjacency (used by the Dijkstra kernel)."""
+        """Legacy ``(neighbors, weights)`` compatibility view.
+
+        Kept in sync with :attr:`csr`; the search kernels accept either
+        form, but hot loops should pass :attr:`csr` (tuples are frozen
+        into a temporary CSR on every call).
+        """
         return self._neighbors, self._weights
 
     def steiner_nodes(self) -> range:
@@ -202,15 +234,34 @@ class GeodesicGraph:
             self._neighbors[other].append(node)
             self._weights[other].append(weight)
             self._num_edges += 1
+        self._csr.attach_node(self._neighbors[node], self._weights[node])
         self._sites_by_face.setdefault(face_id, []).append(node)
+        self._face_of_site[node] = face_id
         return node
 
     def attach_pois(self, pois: POISet) -> List[int]:
-        """Attach every POI of a set; returns their node ids in order."""
-        return [
+        """Attach every POI of a set; returns their node ids in order.
+
+        The batch is assumed stable (POIs are never detached), so the
+        CSR overlay is frozen afterwards — subsequent searches run
+        entirely on flat arrays.
+        """
+        nodes = [
             self.attach_site(poi.position, poi.face_id, poi.vertex_id)
             for poi in pois
         ]
+        self.freeze_sites()
+        return nodes
+
+    def freeze_sites(self) -> None:
+        """Merge the CSR overlay into the frozen static section.
+
+        Call after attaching a batch of long-lived sites; transient
+        attach/detach cycles (A2A queries) still work afterwards and
+        land in a fresh overlay.
+        """
+        if self._csr.num_overlay:
+            self._csr = CSRGraph.from_lists(self._neighbors, self._weights)
 
     def detach_last_sites(self, count: int) -> None:
         """Remove the ``count`` most recently attached site nodes.
@@ -219,6 +270,7 @@ class GeodesicGraph:
         raises.  Used by transient A2A attachments.
         """
         base = self._num_vertices + self._num_steiner
+        needs_refreeze = False
         for _ in range(count):
             node = len(self._positions) - 1
             if node < base:
@@ -231,9 +283,15 @@ class GeodesicGraph:
             self._positions.pop()
             self._neighbors.pop()
             self._weights.pop()
-            for face_id, sites in list(self._sites_by_face.items()):
-                if node in sites:
-                    sites.remove(node)
-                    if not sites:
-                        del self._sites_by_face[face_id]
-                    break
+            face_id = self._face_of_site.pop(node)
+            sites = self._sites_by_face[face_id]
+            sites.remove(node)
+            if not sites:
+                del self._sites_by_face[face_id]
+            if self._csr.num_overlay:
+                self._csr.detach_last()
+            else:
+                # Detaching a frozen site; refreeze once after the loop.
+                needs_refreeze = True
+        if needs_refreeze:
+            self._csr = CSRGraph.from_lists(self._neighbors, self._weights)
