@@ -17,8 +17,6 @@ Run:  python examples/game_portals.py
 
 import time
 
-import numpy as np
-
 from repro import DynamicSEOracle, GeodesicEngine, KAlgo, SEOracle
 from repro import make_terrain, sample_clustered
 

@@ -16,8 +16,6 @@ which are landmarks".  This example:
 Run:  python examples/hiking_assistant.py
 """
 
-import math
-
 import numpy as np
 
 from repro import (

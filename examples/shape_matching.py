@@ -19,7 +19,7 @@ Run:  python examples/shape_matching.py
 import numpy as np
 
 from repro import GeodesicEngine, SEOracle, TriangleMesh, make_terrain
-from repro.terrain import POI, POISet
+from repro.terrain import POISet
 
 
 def rotate_mesh(mesh: TriangleMesh, angle_rad: float) -> TriangleMesh:

@@ -17,7 +17,7 @@ Run:  python examples/wildlife_tracking.py
 
 import numpy as np
 
-from repro import GeodesicEngine, SEOracle, make_terrain
+from repro import GeodesicEngine, SEOracle
 from repro.terrain import POI, POISet
 
 

@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--density", type=int, default=1,
                        help="Steiner points per edge of the metric graph")
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the build fan-out "
+                            "(1 = serial, -1 = one per CPU); parallel "
+                            "builds are bit-identical to serial")
     build.add_argument("--out", required=True, help="oracle output (.json)")
 
     query = commands.add_parser("query", help="query a saved oracle")
@@ -132,10 +136,12 @@ def _cmd_build(args) -> int:
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
     started = time.perf_counter()
     oracle = SEOracle(engine, args.epsilon, strategy=args.strategy,
-                      seed=args.seed).build()
+                      seed=args.seed, jobs=args.jobs).build()
     elapsed = time.perf_counter() - started
     save_oracle(oracle, args.out)
-    print(f"built in {elapsed:.2f}s: n={engine.num_pois} "
+    print(f"built in {elapsed:.2f}s "
+          f"[{oracle.stats.executor} x{oracle.stats.jobs}]: "
+          f"n={engine.num_pois} "
           f"h={oracle.height} pairs={oracle.num_pairs} "
           f"size={oracle.size_bytes() / 1024:.1f}KB -> {args.out}")
     return 0

@@ -10,11 +10,18 @@ from .node_pairs import (
     NodePairSet,
     build_enhanced_edges,
     generate_node_pairs,
+    generate_node_pairs_batched,
     well_separated_threshold,
 )
 from .a2a import A2AOracle, build_site_pois
 from .dynamic import DynamicSEOracle
 from .oracle import BuildStats, SEOracle
+from .parallel import (
+    BuildExecutor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .partition_tree import (
     PartitionTree,
     PartitionTreeNode,
@@ -41,5 +48,10 @@ __all__ = [
     "NodePairSet",
     "build_enhanced_edges",
     "generate_node_pairs",
+    "generate_node_pairs_batched",
     "well_separated_threshold",
+    "BuildExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
 ]

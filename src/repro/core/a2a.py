@@ -95,13 +95,15 @@ class A2AOracle:
         Density of the site grid the SE oracle indexes.
     points_per_edge:
         Steiner density of the geodesic metric graph.
-    strategy / seed:
-        Passed through to :class:`~repro.core.oracle.SEOracle`.
+    strategy / seed / jobs:
+        Passed through to :class:`~repro.core.oracle.SEOracle`; A2A
+        site sets are large (every vertex + edge site becomes a POI),
+        which makes ``jobs`` especially worthwhile here.
     """
 
     def __init__(self, mesh: TriangleMesh, epsilon: float,
                  sites_per_edge: int = 1, points_per_edge: int = 1,
-                 strategy: str = "random", seed: int = 0):
+                 strategy: str = "random", seed: int = 0, jobs: int = 1):
         self._mesh = mesh
         self.epsilon = epsilon
         # A site belongs to every face incident to it (vertices to their
@@ -111,7 +113,7 @@ class A2AOracle:
         self._engine = GeodesicEngine(mesh, self._sites,
                                       points_per_edge=points_per_edge)
         self._oracle = SEOracle(self._engine, epsilon, strategy=strategy,
-                                seed=seed)
+                                seed=seed, jobs=jobs)
         self._built = False
 
     # ------------------------------------------------------------------

@@ -43,11 +43,15 @@ class DynamicSEOracle:
         Rebuild once ``overlay + tombstones > factor * active``.
     points_per_edge:
         Steiner density of the metric graph.
+    jobs:
+        Build-fan-out worker processes for the underlying SE oracle
+        (applies to the initial build *and* every amortised rebuild);
+        see :class:`~repro.core.oracle.SEOracle`.
     """
 
     def __init__(self, mesh: TriangleMesh, pois: POISet, epsilon: float,
                  rebuild_factor: float = 0.25, points_per_edge: int = 1,
-                 seed: int = 0):
+                 seed: int = 0, jobs: int = 1):
         if rebuild_factor <= 0:
             raise ValueError("rebuild_factor must be positive")
         self._mesh = mesh
@@ -55,6 +59,7 @@ class DynamicSEOracle:
         self.rebuild_factor = rebuild_factor
         self._points_per_edge = points_per_edge
         self._seed = seed
+        self.jobs = jobs
         self.rebuild_count = 0
 
         # External id -> current POI record; stable across rebuilds.
@@ -91,7 +96,7 @@ class DynamicSEOracle:
         self._engine = GeodesicEngine(self._mesh, base_pois,
                                       points_per_edge=self._points_per_edge)
         self._oracle = SEOracle(self._engine, self.epsilon,
-                                seed=self._seed).build()
+                                seed=self._seed, jobs=self.jobs).build()
         self._base_index = {external: i
                             for i, external in enumerate(active_ids)}
         self._overlay = set()

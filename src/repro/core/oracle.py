@@ -14,13 +14,20 @@ Queries (Section 3.4) locate the unique node pair containing
 ``(s, t)`` and return its stored distance, in O(h) with the efficient
 algorithm or O(h²) with the naive scan.  Theorem 1 guarantees the
 result is an ε-approximation of the geodesic distance.
+
+Construction runs as an explicit staged pipeline — **plan** (tree
+build + compression, sequential), **fan-out** (the independent SSAD
+bulk, batched through a :mod:`~repro.core.parallel` build executor)
+and **reduce** (pair generation + perfect hashing, deterministic
+order) — so ``jobs=N`` parallelises the dominant stage across worker
+processes while staying bit-identical to a serial build.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional, Tuple
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 from ..datastructures.perfect_hash import PerfectHashMap, pack_pair
 from ..geodesic.engine import GeodesicEngine
@@ -29,8 +36,9 @@ from .node_pairs import (
     EnhancedEdgeIndex,
     NodePairSet,
     build_enhanced_edges,
-    generate_node_pairs,
+    generate_node_pairs_batched,
 )
+from .parallel import BuildExecutor, make_executor
 from .partition_tree import PartitionTree, build_partition_tree
 
 __all__ = ["SEOracle", "BuildStats"]
@@ -59,6 +67,8 @@ class BuildStats:
     settled_nodes: int = 0
     heap_pushes: int = 0
     enhanced_lookup_fallbacks: int = 0
+    jobs: int = 1
+    executor: str = "serial"
 
 
 class SEOracle:
@@ -79,6 +89,15 @@ class SEOracle:
         (per-pair SSAD — the SE(Naive) baseline).
     seed:
         Randomness seed (tree build + hashing).
+    jobs:
+        Worker processes for the build fan-out stage: ``1`` (default)
+        builds serially, ``N >= 2`` fans SSAD batches out across ``N``
+        processes, negative means one per CPU.  Parallel builds are
+        bit-identical to serial ones.
+    executor:
+        Explicit :class:`~repro.core.parallel.BuildExecutor` overriding
+        ``jobs``; the caller keeps ownership (it is not closed after
+        the build), so one process pool can serve several builds.
 
     Example
     -------
@@ -94,7 +113,8 @@ class SEOracle:
     def __init__(self, engine: GeodesicEngine, epsilon: float,
                  strategy: Strategy = "random",
                  method: BuildMethod = "efficient",
-                 seed: int = 0):
+                 seed: int = 0, jobs: int = 1,
+                 executor: Optional[BuildExecutor] = None):
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         if method not in ("efficient", "naive"):
@@ -104,6 +124,8 @@ class SEOracle:
         self.strategy = strategy
         self.method = method
         self.seed = seed
+        self.jobs = jobs
+        self._executor = executor
         self.stats = BuildStats()
         self._tree: Optional[CompressedPartitionTree] = None
         self._original_tree: Optional[PartitionTree] = None
@@ -116,54 +138,114 @@ class SEOracle:
     # construction
     # ------------------------------------------------------------------
     def build(self) -> "SEOracle":
-        """Construct the oracle; returns ``self`` for chaining."""
+        """Construct the oracle via the staged pipeline; returns ``self``.
+
+        Stage 1 (*plan*) builds and compresses the partition tree —
+        sequential by nature, since every cover pass selects from what
+        the previous passes left uncovered.  Stage 2 (*fan-out*) runs
+        the independent SSAD bulk — enhanced-edge sweeps or naive
+        per-pair centre distances — as batches on the build executor.
+        Stage 3 (*reduce*) generates the pair set and perfect-hashes
+        it in deterministic order.  Output is bit-identical for any
+        executor / ``jobs`` setting.
+        """
         engine = self._engine
         engine.reset_counters()
         started = time.perf_counter()
+        executor = self._executor
+        owns_executor = executor is None
+        if owns_executor:
+            executor = make_executor(self.jobs)
+        try:
+            executor.bind(engine)
 
-        tick = time.perf_counter()
-        original = build_partition_tree(engine, strategy=self.strategy,
-                                        seed=self.seed)
-        tree = compress_tree(original)
-        self.stats.tree_seconds = time.perf_counter() - tick
-
-        fallbacks = 0
-        if self.method == "efficient":
+            # ----------------------------------------------------------
+            # Stage 1: plan — partition tree + compression.
+            # ----------------------------------------------------------
             tick = time.perf_counter()
-            enhanced = build_enhanced_edges(engine, original, self.epsilon,
+            original = build_partition_tree(engine, strategy=self.strategy,
                                             seed=self.seed)
-            self.stats.enhanced_seconds = time.perf_counter() - tick
-            self._enhanced = enhanced
+            tree = compress_tree(original)
+            self.stats.tree_seconds = time.perf_counter() - tick
 
-            def provider(center_a: int, center_b: int) -> float:
-                nonlocal fallbacks
-                distance = enhanced.pair_distance(center_a, center_b)
-                if distance is None:
-                    # Lemma 4 says this cannot happen; recover with an
-                    # SSAD rather than fail, and surface it in stats.
-                    fallbacks += 1
-                    distance = engine.distance(center_a, center_b)
-                return distance
-        else:
-            cache: Dict[Tuple[int, int], float] = {}
+            # ----------------------------------------------------------
+            # Stage 2: fan-out — the SSAD-heavy distance bulk.
+            # ----------------------------------------------------------
+            fallbacks = 0
+            if self.method == "efficient":
+                tick = time.perf_counter()
+                enhanced = build_enhanced_edges(engine, original,
+                                                self.epsilon,
+                                                seed=self.seed,
+                                                executor=executor)
+                self.stats.enhanced_seconds = time.perf_counter() - tick
+                self._enhanced = enhanced
 
-            def provider(center_a: int, center_b: int) -> float:
-                if center_a == center_b:
-                    return 0.0
-                key = (min(center_a, center_b), max(center_a, center_b))
-                if key not in cache:
-                    cache[key] = engine.distance(*key)
-                return cache[key]
+                def batch_provider(center_pairs: Sequence[Tuple[int, int]]
+                                   ) -> List[float]:
+                    nonlocal fallbacks
+                    distances = []
+                    misses = []
+                    for position, (a, b) in enumerate(center_pairs):
+                        distance = enhanced.pair_distance(a, b)
+                        if distance is None:
+                            # Lemma 4 says this cannot happen; recover
+                            # with an SSAD rather than fail, and
+                            # surface it in stats.
+                            fallbacks += 1
+                            misses.append(position)
+                        distances.append(distance)
+                    if misses:
+                        recovered = executor.map_pair_distances(
+                            [center_pairs[i] for i in misses])
+                        if len(recovered) != len(misses):
+                            raise ValueError(
+                                "executor returned a misaligned batch")
+                        for position, distance in zip(misses, recovered):
+                            distances[position] = distance
+                    return distances
+            else:
+                cache: Dict[Tuple[int, int], float] = {}
 
-        tick = time.perf_counter()
-        pair_set = generate_node_pairs(tree, self.epsilon, provider)
-        self.stats.pairs_seconds = time.perf_counter() - tick
+                def batch_provider(center_pairs: Sequence[Tuple[int, int]]
+                                   ) -> List[float]:
+                    # One executor round per wavefront: compute every
+                    # distinct uncached centre pair, first-seen order.
+                    need: List[Tuple[int, int]] = []
+                    for a, b in center_pairs:
+                        if a == b:
+                            continue
+                        key = (a, b) if a < b else (b, a)
+                        if key not in cache:
+                            cache[key] = None
+                            need.append(key)
+                    if need:
+                        computed = executor.map_pair_distances(need)
+                        if len(computed) != len(need):
+                            raise ValueError(
+                                "executor returned a misaligned batch")
+                        for key, distance in zip(need, computed):
+                            cache[key] = distance
+                    return [0.0 if a == b
+                            else cache[(a, b) if a < b else (b, a)]
+                            for a, b in center_pairs]
 
-        tick = time.perf_counter()
-        entries = [(pack_pair(a, b), distance)
-                   for (a, b), distance in pair_set.pairs.items()]
-        pair_hash = PerfectHashMap(entries, seed=self.seed)
-        self.stats.hash_seconds = time.perf_counter() - tick
+            # ----------------------------------------------------------
+            # Stage 3: reduce — pair generation + perfect hashing.
+            # ----------------------------------------------------------
+            tick = time.perf_counter()
+            pair_set = generate_node_pairs_batched(tree, self.epsilon,
+                                                   batch_provider)
+            self.stats.pairs_seconds = time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            entries = [(pack_pair(a, b), distance)
+                       for (a, b), distance in pair_set.pairs.items()]
+            pair_hash = PerfectHashMap(entries, seed=self.seed)
+            self.stats.hash_seconds = time.perf_counter() - tick
+        finally:
+            if owns_executor:
+                executor.close()
 
         self._original_tree = original
         self._tree = tree
@@ -185,6 +267,8 @@ class SEOracle:
         stats.settled_nodes = engine.settled_nodes
         stats.heap_pushes = engine.heap_pushes
         stats.enhanced_lookup_fallbacks = fallbacks
+        stats.jobs = executor.jobs
+        stats.executor = executor.name
         return self
 
     # ------------------------------------------------------------------
@@ -319,26 +403,29 @@ class SEOracle:
         """The unique node pair containing ``(source, target)``.
 
         Exposed for tests of Theorem 1; returns ``(o1, o2, distance)``.
+
+        A pair covers ``(s, t)`` exactly when its nodes are
+        ancestors-or-self of the two leaves, so the candidates are the
+        O(h²) product of the two root chains — probed through the pair
+        set's keyed lookup, the same layer arrays the query walks —
+        never a scan over every stored pair.
         """
         self._require_built()
         tree = self._tree
+        pair_set = self._pair_set
+        chain_s = [node for node in tree.layer_array(source)
+                   if node is not None]
+        chain_t = [node for node in tree.layer_array(target)
+                   if node is not None]
         matches = []
-        for (a, b), distance in self._pair_set.pairs.items():
-            if (self._contains(a, tree.leaf_of_poi[source])
-                    and self._contains(b, tree.leaf_of_poi[target])):
-                matches.append((a, b, distance))
+        for node_s in chain_s:
+            for node_t in chain_t:
+                distance = pair_set.distance_of(node_s, node_t)
+                if distance is not None:
+                    matches.append((node_s, node_t, distance))
         if len(matches) != 1:
             raise RuntimeError(
                 f"{len(matches)} pairs cover ({source}, {target}); "
                 "expected exactly 1"
             )
         return matches[0]
-
-    def _contains(self, ancestor: int, node: int) -> bool:
-        tree = self._tree
-        current: Optional[int] = node
-        while current is not None:
-            if current == ancestor:
-                return True
-            current = tree.node(current).parent
-        return False

@@ -31,7 +31,11 @@ from .oracle import SEOracle
 __all__ = ["save_oracle", "load_oracle", "workload_fingerprint",
            "FORMAT_VERSION"]
 
-FORMAT_VERSION = 1
+# Version 2 added the "build" metadata block (executor kind + jobs of
+# the construction pipeline).  Version-1 documents predate it and are
+# still readable; they default to a serial build.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, os.PathLike]
 
@@ -59,6 +63,10 @@ def save_oracle(oracle: SEOracle, path: PathLike) -> None:
         "strategy": oracle.strategy,
         "method": oracle.method,
         "seed": oracle.seed,
+        "build": {
+            "executor": oracle.stats.executor,
+            "jobs": oracle.stats.jobs,
+        },
         "fingerprint": workload_fingerprint(oracle.engine),
         "tree": {
             "root_id": tree.root_id,
@@ -102,7 +110,7 @@ def load_oracle(path: PathLike, engine: GeodesicEngine,
         document = json.load(handle)
     if document.get("format") != "repro-se-oracle":
         raise ValueError(f"{path}: not a serialized SE oracle")
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"{path}: unsupported format version {document.get('version')}"
         )
@@ -147,4 +155,7 @@ def load_oracle(path: PathLike, engine: GeodesicEngine,
     oracle.stats.height = document["stats"]["height"]
     oracle.stats.pairs_stored = document["stats"]["pairs_stored"]
     oracle.stats.total_seconds = document["stats"]["total_seconds"]
+    build_info = document.get("build", {})
+    oracle.stats.executor = build_info.get("executor", "serial")
+    oracle.stats.jobs = build_info.get("jobs", 1)
     return oracle

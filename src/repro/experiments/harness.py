@@ -114,11 +114,11 @@ def _time_queries(query: Callable[[int, int], float],
 
 def _se_factory(strategy: str, method: str):
     def run(mesh: TriangleMesh, pois: POISet, epsilon: float,
-            points_per_edge: int, seed: int):
+            points_per_edge: int, seed: int, jobs: int = 1):
         engine = GeodesicEngine(mesh, pois, points_per_edge=points_per_edge)
         started = time.perf_counter()
         oracle = SEOracle(engine, epsilon, strategy=strategy,
-                          method=method, seed=seed).build()
+                          method=method, seed=seed, jobs=jobs).build()
         build = time.perf_counter() - started
         extra = {
             "height": float(oracle.height),
@@ -132,7 +132,9 @@ def _se_factory(strategy: str, method: str):
 
 def _sp_factory():
     def run(mesh: TriangleMesh, pois: POISet, epsilon: float,
-            points_per_edge: int, seed: int):
+            points_per_edge: int, seed: int, jobs: int = 1):
+        # SP-Oracle's APSP is not executor-staged (yet); jobs is
+        # accepted for registry uniformity and ignored.
         started = time.perf_counter()
         oracle = SPOracle(mesh, epsilon,
                           points_per_edge=_capped_density(epsilon)).build()
@@ -148,7 +150,7 @@ def _sp_factory():
 
 def _kalgo_factory():
     def run(mesh: TriangleMesh, pois: POISet, epsilon: float,
-            points_per_edge: int, seed: int):
+            points_per_edge: int, seed: int, jobs: int = 1):
         started = time.perf_counter()
         algo = KAlgo(mesh, pois, epsilon).build()
         build = time.perf_counter() - started
@@ -169,11 +171,15 @@ def run_p2p_experiment(mesh: TriangleMesh, pois: POISet, epsilon: float,
                        methods: Sequence[str],
                        num_queries: int = 100,
                        points_per_edge: int = 1,
-                       seed: int = 0) -> List[MethodResult]:
+                       seed: int = 0,
+                       jobs: int = 1) -> List[MethodResult]:
     """Run the Section 5 measurement protocol for P2P/V2V queries.
 
     The exact reference distances are computed once on a shared
     ground-truth engine (same Steiner density as SE's metric graph).
+    ``jobs`` parallelises the SE builds' fan-out stage; reported
+    build times then measure the parallel pipeline, while results
+    stay bit-identical to serial builds.
     """
     pairs = generate_query_pairs(len(pois), num_queries, seed=seed)
     reference = GeodesicEngine(mesh, pois, points_per_edge=points_per_edge)
@@ -191,7 +197,7 @@ def run_p2p_experiment(mesh: TriangleMesh, pois: POISet, epsilon: float,
             raise KeyError(f"unknown method {name!r}; choose from "
                            f"{sorted(P2P_METHODS)}")
         build, size, query, extra = P2P_METHODS[name](
-            mesh, pois, epsilon, points_per_edge, seed)
+            mesh, pois, epsilon, points_per_edge, seed, jobs=jobs)
         mean_query = _time_queries(query, pairs)
         errors = measure_errors(query, exact, pairs)
         results.append(MethodResult(

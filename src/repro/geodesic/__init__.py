@@ -6,7 +6,7 @@ from .dijkstra import (
     dijkstra,
     dijkstra_reference,
 )
-from .engine import GeodesicEngine
+from .engine import EngineSnapshot, GeodesicEngine
 from .graph import GeodesicGraph
 from .steiner import SteinerPlacement, place_steiner_points
 from .weights import (
@@ -25,6 +25,7 @@ __all__ = [
     "bidirectional_distance",
     "dijkstra",
     "dijkstra_reference",
+    "EngineSnapshot",
     "GeodesicEngine",
     "GeodesicGraph",
     "SteinerPlacement",

@@ -15,7 +15,11 @@ algorithms need:
 * :meth:`distance` — a single P2P geodesic distance (ground truth for
   error measurement, and the naive construction's workhorse);
 * :meth:`shortest_path` — path reconstruction for examples;
-* transient attachment of arbitrary surface points (A2A queries).
+* transient attachment of arbitrary surface points (A2A queries);
+* :meth:`snapshot` / :meth:`from_snapshot` — a picklable frozen-CSR
+  image of the engine and its rehydration, the mechanism by which the
+  parallel build executor (:mod:`repro.core.parallel`) ships the SSAD
+  service to worker processes exactly once.
 
 All searches run on the graph's frozen CSR core (the POI set is frozen
 into it at construction); see :mod:`repro.geodesic.graph`.  The engine
@@ -26,16 +30,55 @@ benchmark harness reports as construction-effort metrics.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..datastructures.csr import CSRGraph
 from ..terrain.mesh import TriangleMesh
 from ..terrain.poi import POISet
 from .dijkstra import DijkstraResult, dijkstra
 from .graph import GeodesicGraph
 
-__all__ = ["GeodesicEngine"]
+__all__ = ["GeodesicEngine", "EngineSnapshot"]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Picklable frozen-CSR image of a :class:`GeodesicEngine`.
+
+    Carries exactly what the SSAD surface needs — the static CSR
+    arrays and the POI -> node mapping — and nothing mesh-shaped, so
+    shipping one to a worker process costs a few array pickles instead
+    of a terrain rebuild.  Rehydrate with
+    :meth:`GeodesicEngine.from_snapshot`.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    poi_nodes: Tuple[int, ...]
+    points_per_edge: int
+
+    def rehydrate(self) -> "GeodesicEngine":
+        """Shorthand for :meth:`GeodesicEngine.from_snapshot`."""
+        return GeodesicEngine.from_snapshot(self)
+
+
+class _FrozenGraphView:
+    """Minimal stand-in for :class:`GeodesicGraph` in worker processes.
+
+    Exposes the two attributes the engine's SSAD surface reads — the
+    CSR core and the Steiner density — and nothing geometric; workers
+    never reconstruct paths or attach surface points.
+    """
+
+    __slots__ = ("csr", "points_per_edge")
+
+    def __init__(self, csr: CSRGraph, points_per_edge: int):
+        self.csr = csr
+        self.points_per_edge = points_per_edge
 
 
 def _single_target_distance(result: DijkstraResult, target: int) -> float:
@@ -96,7 +139,9 @@ class GeodesicEngine:
 
     @property
     def num_pois(self) -> int:
-        return len(self._pois)
+        # Counted on the node mapping, not the POISet: rehydrated
+        # worker engines carry no POISet (see :meth:`from_snapshot`).
+        return len(self._poi_nodes)
 
     def poi_node(self, poi_index: int) -> int:
         """Graph node id hosting POI ``poi_index``."""
@@ -106,6 +151,67 @@ class GeodesicEngine:
         self.ssad_calls = 0
         self.settled_nodes = 0
         self.heap_pushes = 0
+
+    def account_external(self, ssad_calls: int, settled_nodes: int,
+                         heap_pushes: int) -> None:
+        """Fold in search-effort counters measured out-of-process.
+
+        The multiprocess build executor runs SSADs on rehydrated
+        worker engines; their counter deltas are reported back and
+        added here so construction stats match a serial build exactly.
+        """
+        self.ssad_calls += ssad_calls
+        self.settled_nodes += settled_nodes
+        self.heap_pushes += heap_pushes
+
+    # ------------------------------------------------------------------
+    # snapshot / rehydrate (parallel build support)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineSnapshot:
+        """A picklable image of the frozen SSAD state.
+
+        Requires every site to be frozen into the static CSR section
+        (true after construction; transient A2A attachments must be
+        detached first).  The arrays are shared, not copied — the
+        snapshot is a cheap view that pickles by value.
+        """
+        csr = self._graph.csr
+        if csr.num_overlay:
+            raise RuntimeError(
+                "cannot snapshot an engine with transient overlay sites; "
+                "detach them first"
+            )
+        return EngineSnapshot(
+            indptr=csr.indptr, indices=csr.indices, weights=csr.weights,
+            poi_nodes=tuple(self._poi_nodes),
+            points_per_edge=self._graph.points_per_edge,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: EngineSnapshot) -> "GeodesicEngine":
+        """Rehydrate a worker-side engine from a snapshot.
+
+        The result serves the full SSAD surface (``distances_from_poi``
+        / ``distances_many`` / ``distance`` / ``query_many``) on the
+        frozen CSR arrays; geometric operations (``shortest_path``,
+        ``attach_point``) are unavailable because no mesh travels with
+        the snapshot.
+        """
+        engine = cls.__new__(cls)
+        engine._mesh = None
+        engine._pois = None
+        engine._graph = _FrozenGraphView(
+            CSRGraph(snapshot.indptr, snapshot.indices, snapshot.weights),
+            snapshot.points_per_edge,
+        )
+        engine._poi_nodes = list(snapshot.poi_nodes)
+        engine._node_to_poi = {
+            node: poi for poi, node in enumerate(engine._poi_nodes)
+        }
+        engine.ssad_calls = 0
+        engine.settled_nodes = 0
+        engine.heap_pushes = 0
+        return engine
 
     # ------------------------------------------------------------------
     # SSAD variants (Implementation Detail 2)

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    ErrorStats,
     estimate_capacity_dimension,
     measure_errors,
     relative_error,

@@ -1,7 +1,5 @@
 """Tests for the SP-Oracle, K-Algo and full-materialization baselines."""
 
-import math
-
 import numpy as np
 import pytest
 

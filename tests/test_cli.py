@@ -83,6 +83,24 @@ class TestBuildAndQuery:
                      "--strategy", "greedy", "--out",
                      str(oracle_path)]) == 0
 
+    def test_parallel_build_jobs(self, terrain_file, tmp_path, capsys):
+        """--jobs 2 builds the same oracle file a serial build writes."""
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.25", "--out", str(serial_path)]) == 0
+        assert main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.25", "--jobs", "2",
+                     "--out", str(parallel_path)]) == 0
+        out = capsys.readouterr().out
+        assert "multiprocess x2" in out
+        import json
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["pairs"] == parallel["pairs"]
+        assert serial["tree"] == parallel["tree"]
+        assert parallel["build"] == {"executor": "multiprocess", "jobs": 2}
+
 
 class TestBench:
     def test_table2(self, capsys):

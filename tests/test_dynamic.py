@@ -148,7 +148,6 @@ class TestDelete:
 class TestAccuracyAfterChurn:
     def test_epsilon_guarantee_maintained(self, dyn):
         mesh, pois, oracle = dyn
-        from repro.geodesic import GeodesicEngine
         inserted = [oracle.insert(30.0 + 5 * k, 50.0 - 4 * k)
                     for k in range(4)]
         oracle.delete(1)

@@ -5,8 +5,6 @@ plus hypothesis property tests asserting the paper's guarantees on
 randomly generated workloads.
 """
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -1,20 +1,12 @@
 """Tests for the SE oracle: node pairs, Theorem 1, queries, ε-guarantee."""
 
 import itertools
-import math
 
 import pytest
 
-from repro.core import (
-    SEOracle,
-    build_enhanced_edges,
-    build_partition_tree,
-    compress_tree,
-    generate_node_pairs,
-    well_separated_threshold,
-)
+from repro.core import SEOracle, well_separated_threshold
 from repro.geodesic import GeodesicEngine
-from repro.terrain import make_terrain, sample_uniform
+from repro.terrain import sample_uniform
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import build_partition_tree, compress_tree
 from repro.geodesic import GeodesicEngine
-from repro.terrain import make_terrain, sample_uniform
+from repro.terrain import sample_uniform
 
 
 @pytest.fixture(scope="module", params=["random", "greedy"])

@@ -95,6 +95,52 @@ class TestLoad:
             load_oracle(path, workload)
 
 
+class TestParallelBuildRoundTrip:
+    """A --jobs 2 build serializes to exactly what a serial build does."""
+
+    def test_parallel_build_roundtrip_bit_identical(self, built, workload,
+                                                    tmp_path):
+        parallel = SEOracle(workload, epsilon=0.2, seed=4, jobs=2).build()
+        path = tmp_path / "parallel.json"
+        save_oracle(parallel, path)
+        loaded = load_oracle(path, workload)
+
+        assert set(loaded.pair_set.pairs) == set(built.pair_set.pairs)
+        for key, distance in built.pair_set.pairs.items():
+            # Exact equality: the parallel fan-out and a JSON round
+            # trip must both preserve every float bit.
+            assert loaded.pair_set.pairs[key] == distance
+        n = workload.num_pois
+        for source in range(n):
+            for target in range(n):
+                assert loaded.query(source, target) \
+                    == built.query(source, target)
+
+    def test_build_metadata_recorded(self, built, workload, tmp_path):
+        from repro.core.serialize import FORMAT_VERSION
+        parallel = SEOracle(workload, epsilon=0.2, seed=4, jobs=2).build()
+        path = tmp_path / "parallel.json"
+        save_oracle(parallel, path)
+        document = json.loads(path.read_text())
+        assert document["version"] == FORMAT_VERSION == 2
+        assert document["build"] == {"executor": "multiprocess", "jobs": 2}
+        loaded = load_oracle(path, workload)
+        assert loaded.stats.executor == "multiprocess"
+        assert loaded.stats.jobs == 2
+
+    def test_version1_documents_still_load(self, built, workload, tmp_path):
+        path = tmp_path / "v1.json"
+        save_oracle(built, path)
+        document = json.loads(path.read_text())
+        document["version"] = 1
+        del document["build"]
+        path.write_text(json.dumps(document))
+        loaded = load_oracle(path, workload)
+        assert loaded.stats.executor == "serial"
+        assert loaded.stats.jobs == 1
+        assert loaded.query(0, 1) == built.query(0, 1)
+
+
 class TestFingerprint:
     def test_deterministic(self, workload):
         assert workload_fingerprint(workload) \

@@ -5,7 +5,6 @@ import pytest
 
 from repro.terrain import (
     MeshError,
-    TriangleMesh,
     make_terrain,
     read_mesh,
     read_obj,
