@@ -1,0 +1,198 @@
+"""Query-serving benchmark: scalar vs batched oracle QPS.
+
+For each workload scale this script builds one SE oracle, compiles it,
+and measures queries/second of the scalar ``SEOracle.query`` loop
+against one ``CompiledOracle.query_batch`` call over the same random
+pair workload.  It *gates on equivalence*: every batched distance must
+be bit-identical to the scalar answer (the process exits non-zero
+otherwise), and optionally on a minimum batched/scalar speedup — which
+is what lets CI use it as a serving-regression smoke gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py \
+        --scales tiny small medium --out BENCH_query.json
+
+The JSON report records, per scale, the oracle shape (POIs, height,
+stored pairs), compile seconds, scalar and batched QPS, and the
+speedup; the ``--min-speedup`` gate applies to the largest scale run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import SEOracle  # noqa: E402
+from repro.geodesic import GeodesicEngine  # noqa: E402
+from repro.terrain import make_terrain, sample_uniform  # noqa: E402
+
+# Workload shapes, mirroring bench_build_parallel.py.  "medium" is the
+# serving target: ~90 POIs on a 33x33 grid, a tree tall enough that the
+# scalar walk costs real Python work per query.
+SCALES = {
+    "tiny": {
+        "exponent": 3,
+        "extent": (100.0, 100.0),
+        "relief": 15.0,
+        "pois": 16,
+        "epsilon": 0.5,
+    },
+    "small": {
+        "exponent": 4,
+        "extent": (200.0, 160.0),
+        "relief": 30.0,
+        "pois": 40,
+        "epsilon": 0.25,
+    },
+    "medium": {
+        "exponent": 5,
+        "extent": (400.0, 400.0),
+        "relief": 60.0,
+        "pois": 90,
+        "epsilon": 0.25,
+    },
+    "large": {
+        "exponent": 6,
+        "extent": (800.0, 800.0),
+        "relief": 90.0,
+        "pois": 160,
+        "epsilon": 0.25,
+    },
+}
+
+
+def build_oracle(scale: str, density: int, seed: int) -> SEOracle:
+    spec = SCALES[scale]
+    mesh = make_terrain(
+        grid_exponent=spec["exponent"],
+        extent=spec["extent"],
+        relief=spec["relief"],
+        seed=seed,
+    )
+    pois = sample_uniform(mesh, spec["pois"], seed=seed + 1)
+    engine = GeodesicEngine(mesh, pois, points_per_edge=density)
+    return SEOracle(engine, spec["epsilon"], seed=seed).build()
+
+
+def pair_workload(num_pois: int, count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, num_pois, size=count).astype(np.intp)
+    targets = rng.integers(0, num_pois, size=count).astype(np.intp)
+    return sources, targets
+
+
+def measure_scale(scale: str, queries: int, density: int, seed: int,
+                  repeats: int = 3) -> dict:
+    oracle = build_oracle(scale, density, seed)
+    num_pois = oracle.engine.num_pois
+    sources, targets = pair_workload(num_pois, queries, seed + 2)
+
+    tick = time.perf_counter()
+    compiled = oracle.compiled()
+    compile_seconds = time.perf_counter() - tick
+
+    # Scalar reference answers double as the equivalence oracle.
+    pairs = list(zip(sources.tolist(), targets.tolist()))
+    best_scalar = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        reference = [oracle.query(source, target)
+                     for source, target in pairs]
+        best_scalar = min(best_scalar, time.perf_counter() - tick)
+
+    compiled.query_batch(sources[:16], targets[:16])  # warm the tables
+    best_batch = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        batched = compiled.query_batch(sources, targets)
+        best_batch = min(best_batch, time.perf_counter() - tick)
+
+    mismatches = int(np.sum(batched != np.array(reference)))
+    scalar_qps = queries / best_scalar
+    batch_qps = queries / best_batch
+    return {
+        "scale": scale,
+        "num_pois": num_pois,
+        "height": oracle.height,
+        "pairs_stored": oracle.num_pairs,
+        "queries": queries,
+        "compile_seconds": compile_seconds,
+        "scalar_qps": scalar_qps,
+        "batch_qps": batch_qps,
+        "speedup": batch_qps / scalar_qps,
+        "equivalent": mismatches == 0,
+        "mismatches": mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", nargs="+", default=["tiny", "medium"],
+                        choices=sorted(SCALES),
+                        help="workload scales to sweep, smallest first")
+    parser.add_argument("--queries", type=int, default=20000,
+                        help="random query pairs per scale")
+    parser.add_argument("--density", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the largest scale's batched "
+                             "QPS is at least this multiple of scalar")
+    parser.add_argument("--out", default=None, help="JSON report path")
+    args = parser.parse_args(argv)
+
+    runs = []
+    for scale in args.scales:
+        run = measure_scale(scale, args.queries, args.density, args.seed)
+        runs.append(run)
+        verdict = "ok" if run["equivalent"] else (
+            f"EQUIVALENCE BROKEN: {run['mismatches']} mismatches")
+        print(f"{scale:7s} n={run['num_pois']:4d} h={run['height']} "
+              f"pairs={run['pairs_stored']:6d}  "
+              f"scalar {run['scalar_qps']:11,.0f} q/s  "
+              f"batch {run['batch_qps']:11,.0f} q/s  "
+              f"x{run['speedup']:5.1f}  {verdict}")
+
+    equivalent = all(run["equivalent"] for run in runs)
+    final_speedup = runs[-1]["speedup"]
+    report = {
+        "benchmark": "bench_query_throughput",
+        "queries": args.queries,
+        "density": args.density,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "equivalent": equivalent,
+        "min_speedup_required": args.min_speedup,
+        "final_speedup": final_speedup,
+        "runs": runs,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"[report written to {args.out}]")
+
+    if not equivalent:
+        print("FAILED: batched queries are not bit-identical to scalar")
+        return 1
+    if args.min_speedup is not None and final_speedup < args.min_speedup:
+        print(f"FAILED: speedup x{final_speedup:.1f} below required "
+              f"x{args.min_speedup:.1f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

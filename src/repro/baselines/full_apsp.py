@@ -63,6 +63,30 @@ class FullAPSPBaseline:
             raise RuntimeError("baseline not built; call build() first")
         return float(self._matrix[source, target])
 
+    def query_batch(self, sources, targets) -> np.ndarray:
+        """Batched :meth:`query`: one fancy-indexed gather (float64).
+
+        Same protocol as the compiled SE oracle's ``query_batch``, so
+        the baseline slots into vectorized proximity queries and the
+        equivalence harness as the ground-truth comparator.
+        """
+        if self._matrix is None:
+            raise RuntimeError("baseline not built; call build() first")
+        source_ids = np.asarray(sources, dtype=np.intp)
+        target_ids = np.asarray(targets, dtype=np.intp)
+        return self._matrix[source_ids, target_ids].astype(np.float64,
+                                                           copy=True)
+
+    def query_matrix(self, pois=None) -> np.ndarray:
+        """All-pairs submatrix over ``pois`` (default: all, a copy)."""
+        if self._matrix is None:
+            raise RuntimeError("baseline not built; call build() first")
+        if pois is None:
+            return self._matrix.copy()
+        ids = np.asarray(pois, dtype=np.intp)
+        return self._matrix[np.ix_(ids, ids)].astype(np.float64,
+                                                     copy=True)
+
     def matrix(self) -> np.ndarray:
         """The full distance matrix (read-only view)."""
         if self._matrix is None:

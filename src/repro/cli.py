@@ -78,14 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="query a saved oracle")
     query.add_argument("mesh", help="mesh file the oracle was built on")
     query.add_argument("oracle", help="oracle file from 'build'")
-    query.add_argument("source", type=int)
-    query.add_argument("target", type=int)
+    query.add_argument("source", type=int, nargs="?", default=None)
+    query.add_argument("target", type=int, nargs="?", default=None)
     query.add_argument("--pois", type=int, default=50,
                        help="POI count used at build time")
     query.add_argument("--poi-seed", type=int, default=1)
     query.add_argument("--density", type=int, default=1)
     query.add_argument("--exact", action="store_true",
                        help="also compute the exact distance")
+    query.add_argument("--batch", nargs="*", metavar="S:T", default=None,
+                       help="batched mode: answer the given S:T pairs "
+                            "through the compiled tables and report QPS "
+                            "(combine with --random)")
+    query.add_argument("--random", type=int, default=0, metavar="N",
+                       dest="random_pairs",
+                       help="with --batch: append N random seeded "
+                            "query pairs to the batch")
+    query.add_argument("--pair-seed", type=int, default=0,
+                       help="seed of the --random pair workload")
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -151,6 +161,12 @@ def _cmd_query(args) -> int:
     from .core import load_oracle
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
     oracle = load_oracle(args.oracle, engine)
+    if args.batch is not None:
+        return _run_query_batch(args, oracle)
+    if args.source is None or args.target is None:
+        print("error: source and target are required without --batch",
+              file=sys.stderr)
+        return 2
     started = time.perf_counter()
     distance = oracle.query(args.source, args.target)
     micros = (time.perf_counter() - started) * 1e6
@@ -160,6 +176,53 @@ def _cmd_query(args) -> int:
         exact = engine.distance(args.source, args.target)
         error = abs(distance - exact) / exact if exact else 0.0
         print(f"exact = {exact:.3f}  error = {error:.4f}")
+    return 0
+
+
+def _run_query_batch(args, oracle) -> int:
+    """The ``query --batch`` verb: compiled tables, one batched call."""
+    import numpy as np
+
+    pairs = []
+    for token in args.batch:
+        try:
+            source_text, target_text = token.split(":", 1)
+            pairs.append((int(source_text), int(target_text)))
+        except ValueError:
+            print(f"error: malformed pair {token!r}; expected S:T",
+                  file=sys.stderr)
+            return 2
+    if args.source is not None and args.target is not None:
+        pairs.insert(0, (args.source, args.target))
+    if args.random_pairs:
+        from .experiments.harness import generate_query_pairs
+        pairs.extend(generate_query_pairs(
+            oracle.engine.num_pois, args.random_pairs,
+            seed=args.pair_seed))
+    if not pairs:
+        print("error: --batch needs S:T pairs and/or --random N",
+              file=sys.stderr)
+        return 2
+
+    tick = time.perf_counter()
+    compiled = oracle.compiled()
+    sources = np.array([source for source, _ in pairs], dtype=np.intp)
+    targets = np.array([target for _, target in pairs], dtype=np.intp)
+    compiled.query_batch(sources[:1], targets[:1])  # freeze the tables
+    compile_ms = (time.perf_counter() - tick) * 1e3
+    tick = time.perf_counter()
+    distances = compiled.query_batch(sources, targets)
+    elapsed = time.perf_counter() - tick
+    shown = min(len(pairs), 20)
+    for index in range(shown):
+        print(f"d({sources[index]}, {targets[index]}) = "
+              f"{distances[index]:.3f}")
+    if shown < len(pairs):
+        print(f"... ({len(pairs) - shown} more)")
+    qps = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(f"{len(pairs)} queries in {elapsed * 1e3:.2f} ms "
+          f"-> {qps:,.0f} q/s  [compile {compile_ms:.1f} ms, "
+          f"h={compiled.height}]")
     return 0
 
 
@@ -195,7 +258,25 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args, extras = parser.parse_known_args(argv)
+    if extras and args.command == "query" and args.target is None:
+        # `query mesh oracle --pois 40 3 17` (or `... 3 --pois 40 17`):
+        # argparse matches the optional source/target positionals
+        # greedily in the first positional chunk and cannot backtrack,
+        # so trailing ids land in `extras`.  Fold them back in.
+        try:
+            ids = [int(token) for token in extras]
+        except ValueError:
+            ids = None
+        if ids is not None and args.source is None and len(ids) == 2:
+            args.source, args.target = ids
+            extras = []
+        elif ids is not None and args.source is not None and len(ids) == 1:
+            args.target = ids[0]
+            extras = []
+    if extras:
+        parser.error(f"unrecognized arguments: {' '.join(extras)}")
     return _COMMANDS[args.command](args)
 
 

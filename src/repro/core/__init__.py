@@ -14,6 +14,7 @@ from .node_pairs import (
     well_separated_threshold,
 )
 from .a2a import A2AOracle, build_site_pois
+from .compiled import CompiledOracle, compile_oracle
 from .dynamic import DynamicSEOracle
 from .oracle import BuildStats, SEOracle
 from .parallel import (
@@ -32,6 +33,8 @@ from .serialize import load_oracle, save_oracle, workload_fingerprint
 __all__ = [
     "SEOracle",
     "BuildStats",
+    "CompiledOracle",
+    "compile_oracle",
     "A2AOracle",
     "build_site_pois",
     "DynamicSEOracle",

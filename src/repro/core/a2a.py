@@ -121,6 +121,10 @@ class A2AOracle:
     # ------------------------------------------------------------------
     def build(self) -> "A2AOracle":
         self._oracle.build()
+        # A2A queries minimise over a site-neighbourhood product per
+        # query; compiling the SE oracle up front lets every product be
+        # answered as one query_batch instead of a Python double loop.
+        self._oracle.compiled()
         self._built = True
         return self
 
@@ -186,25 +190,27 @@ class A2AOracle:
     def _best_through_sites(self, hops_s, hops_t) -> float:
         """``min d(s,p) + d~(p,q) + d(q,t)`` over two hop-sorted site sets.
 
-        Both neighbourhoods are sorted by hop distance: once the
-        combined hops alone exceed the incumbent, every later
-        combination is worse too, so the scan can cut off early.
-        Returns ``inf`` when either neighbourhood is empty.
+        The full neighbourhood product goes through one compiled
+        ``query_batch`` — ``|N(s)| · |N(t)|`` SE lookups vectorised —
+        and the minimum is taken over ``(hop_s + d~) + hop_t``, the
+        same left-to-right float association the scalar scan used, so
+        results are bit-identical to the pruned double loop (pruning
+        only ever skipped combinations that could not win).  Returns
+        ``inf`` when either neighbourhood is empty.
         """
         if not hops_s or not hops_t:
             return math.inf
-        best = math.inf
-        min_hop_t = hops_t[0][0]
-        for hop_s, site_s in hops_s:
-            if hop_s + min_hop_t >= best:
-                break
-            for hop_t, site_t in hops_t:
-                if hop_s + hop_t >= best:
-                    break
-                total = hop_s + self._oracle.query(site_s, site_t) + hop_t
-                if total < best:
-                    best = total
-        return best
+        hop_s = np.array([hop for hop, _ in hops_s])
+        hop_t = np.array([hop for hop, _ in hops_t])
+        sites_s = np.array([site for _, site in hops_s], dtype=np.intp)
+        sites_t = np.array([site for _, site in hops_t], dtype=np.intp)
+        compiled = self._oracle.compiled()
+        through = compiled.query_batch(
+            np.repeat(sites_s, sites_t.size),
+            np.tile(sites_t, sites_s.size),
+        ).reshape(sites_s.size, sites_t.size)
+        totals = (hop_s[:, None] + through) + hop_t[None, :]
+        return float(totals.min())
 
     def query_many(self, pairs_xy: Sequence[Tuple[Tuple[float, float],
                                                   Tuple[float, float]]]

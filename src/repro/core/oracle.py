@@ -132,6 +132,7 @@ class SEOracle:
         self._pair_set: Optional[NodePairSet] = None
         self._pair_hash: Optional[PerfectHashMap] = None
         self._enhanced: Optional[EnhancedEdgeIndex] = None
+        self._compiled = None
         self._built = False
 
     # ------------------------------------------------------------------
@@ -251,6 +252,7 @@ class SEOracle:
         self._tree = tree
         self._pair_set = pair_set
         self._pair_hash = pair_hash
+        self._compiled = None  # stale after a rebuild; recompiled lazily
         self._built = True
 
         stats = self.stats
@@ -301,6 +303,11 @@ class SEOracle:
     def pair_set(self) -> NodePairSet:
         self._require_built()
         return self._pair_set
+
+    @property
+    def pair_hash(self) -> PerfectHashMap:
+        self._require_built()
+        return self._pair_hash
 
     @property
     def num_pairs(self) -> int:
@@ -380,6 +387,40 @@ class SEOracle:
             f"no covering node pair for ({source}, {target}); "
             "unique-match property violated"
         )
+
+    # ------------------------------------------------------------------
+    # batched queries (the compiled serving path)
+    # ------------------------------------------------------------------
+    def compiled(self, refresh: bool = False) -> "CompiledOracle":
+        """The flat-table form of this oracle (compiled lazily, cached).
+
+        See :class:`~repro.core.compiled.CompiledOracle`; the tables
+        answer whole query batches with no Python per query and are
+        bit-identical to :meth:`query`.  The cache is invalidated by
+        ``build()``; pass ``refresh=True`` to force a recompile.
+        """
+        self._require_built()
+        if self._compiled is None or refresh:
+            from .compiled import CompiledOracle
+            self._compiled = CompiledOracle.from_oracle(self)
+        return self._compiled
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled is not None
+
+    def query_batch(self, sources, targets):
+        """Batched :meth:`query` over aligned id arrays (float64 array).
+
+        Compiles the flat tables on first use; afterwards each batch is
+        answered in a handful of NumPy passes (~``(h+1)²`` probed keys
+        per query, no Python loop).
+        """
+        return self.compiled().query_batch(sources, targets)
+
+    def query_matrix(self, pois=None):
+        """All-pairs distance matrix over ``pois`` (default: all)."""
+        return self.compiled().query_matrix(pois)
 
     def query_naive(self, source: int, target: int) -> float:
         """Same answer via the O(h²) Cartesian scan (SE(Naive) query)."""

@@ -20,10 +20,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
 
 from ..datastructures.perfect_hash import PerfectHashMap, pack_pair
 from ..geodesic.engine import GeodesicEngine
+from .compiled import CompiledOracle
 from .compressed_tree import CompressedPartitionTree, CompressedTreeNode
 from .node_pairs import NodePairSet
 from .oracle import SEOracle
@@ -32,10 +35,13 @@ __all__ = ["save_oracle", "load_oracle", "workload_fingerprint",
            "FORMAT_VERSION"]
 
 # Version 2 added the "build" metadata block (executor kind + jobs of
-# the construction pipeline).  Version-1 documents predate it and are
-# still readable; they default to a serial build.
-FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+# the construction pipeline).  Version 3 added the optional "compiled"
+# section: the query-serving chain matrix of a compiled oracle, so a
+# serving process can load straight into the batched query path.
+# Older documents remain readable; a v1/v2 load (or a v3 document
+# without the section) simply compiles on demand.
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 PathLike = Union[str, os.PathLike]
 
@@ -51,10 +57,24 @@ def workload_fingerprint(engine: GeodesicEngine) -> str:
     return digest.hexdigest()[:16]
 
 
-def save_oracle(oracle: SEOracle, path: PathLike) -> None:
-    """Serialise a built oracle to ``path`` (JSON)."""
+def save_oracle(oracle: SEOracle, path: PathLike,
+                compiled: Optional[bool] = None) -> None:
+    """Serialise a built oracle to ``path`` (JSON).
+
+    Parameters
+    ----------
+    oracle:
+        A built (and optionally compiled) oracle.
+    compiled:
+        Whether to embed the compiled-table section (format v3):
+        ``True`` compiles now if needed, ``False`` omits the section,
+        and the default ``None`` embeds it exactly when the oracle has
+        already been compiled.
+    """
     if not oracle.is_built:
         raise ValueError("cannot save an unbuilt oracle")
+    if compiled is None:
+        compiled = oracle.is_compiled
     tree = oracle.tree
     document: Dict[str, Any] = {
         "format": "repro-se-oracle",
@@ -89,6 +109,12 @@ def save_oracle(oracle: SEOracle, path: PathLike) -> None:
             "total_seconds": oracle.stats.total_seconds,
         },
     }
+    if compiled:
+        tables = oracle.compiled()
+        document["compiled"] = {
+            "height": tables.height,
+            "chains": tables.chains.tolist(),
+        }
     with open(path, "w") as handle:
         json.dump(document, handle)
 
@@ -152,6 +178,12 @@ def load_oracle(path: PathLike, engine: GeodesicEngine,
     oracle._pair_set = pair_set
     oracle._pair_hash = pair_hash
     oracle._built = True
+    compiled_section = document.get("compiled")
+    if compiled_section is not None:
+        oracle._compiled = CompiledOracle(
+            np.asarray(compiled_section["chains"], dtype=np.int64),
+            pair_hash, document["epsilon"],
+        )
     oracle.stats.height = document["stats"]["height"]
     oracle.stats.pairs_stored = document["stats"]["pairs_stored"]
     oracle.stats.total_seconds = document["stats"]["total_seconds"]

@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["PerfectHashMap", "pack_pair", "unpack_pair"]
 
 # A Mersenne prime comfortably above any packed key we produce.
@@ -49,6 +51,37 @@ def pack_pair(u: int, v: int) -> int:
 def unpack_pair(key: int) -> Tuple[int, int]:
     """Inverse of :func:`pack_pair`."""
     return key >> _PAIR_SHIFT, key & _PAIR_MASK
+
+
+# ----------------------------------------------------------------------
+# the frozen (batch-lookup) form
+# ----------------------------------------------------------------------
+# Batch lookups probe a *frozen* twin of the FKS structure: the same
+# two-level perfect-hash topology, but with multiply-shift universal
+# hashing — ``h_a(x) = (a * x mod 2^64) >> (64 - l)`` with odd ``a``
+# into a power-of-two table (Dietzfelbinger et al.) — because a
+# wrapping uint64 multiply plus a shift is two NumPy passes, whereas
+# the scalar path's ``(a*x + b) mod (2^61 - 1)`` costs dozens of
+# passes once big-int arithmetic is emulated overflow-free on uint64.
+# The frozen tables are built once (lazily, seeded off the map's seed)
+# and hold float64 values, so one probe resolves millions of keys with
+# no Python per key.  Lookup results are identical to the scalar
+# path's by construction: both address the same key/value arrays.
+
+_FROZEN_FIELDS = ("keys", "values", "level2_a", "level2_shift",
+                  "level2_offset", "slots")
+
+
+class _FrozenTables:
+    """Flat NumPy tables for vectorized probes (see module comment)."""
+
+    __slots__ = ("level1_a", "level1_shift", *_FROZEN_FIELDS)
+
+    def __init__(self, level1_a: int, level1_shift: int, **arrays):
+        self.level1_a = np.uint64(level1_a)
+        self.level1_shift = np.uint64(level1_shift)
+        for name in _FROZEN_FIELDS:
+            setattr(self, name, arrays[name])
 
 
 class _Bucket:
@@ -98,10 +131,12 @@ class PerfectHashMap:
         if any(key < 0 for key in self._keys):
             raise ValueError("keys must be non-negative integers")
         self._n = len(self._keys)
+        self._seed = seed
         self._rng = random.Random(seed)
         self._buckets: List[Optional[_Bucket]] = []
         self._a = 1
         self._b = 0
+        self._frozen: Optional[_FrozenTables] = None
         if self._n:
             self._build()
 
@@ -182,6 +217,133 @@ class PerfectHashMap:
 
     def items(self) -> Iterator[Tuple[int, Any]]:
         return iter(zip(self._keys, self._values))
+
+    # ------------------------------------------------------------------
+    # batch lookup (the compiled-oracle fast path)
+    # ------------------------------------------------------------------
+    def _freeze(self) -> _FrozenTables:
+        """Build the frozen multiply-shift tables (lazy, seeded).
+
+        Level one hashes into ``2^ceil(log2 n)`` buckets; every bucket
+        with ``b`` keys gets a private power-of-two table of at least
+        ``2 b²`` slots, re-drawing its (odd) multiplier until
+        injective — the FKS construction with a multiply-shift family.
+        Expected total size stays linear (collision probability is
+        ``2 / 2^l``).  Only float-valued maps can freeze, which covers
+        every distance table the oracle builds.
+        """
+        if self._frozen is not None:
+            return self._frozen
+        try:
+            values = np.asarray(self._values, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise TypeError(
+                "batch lookup requires float values; this map stores "
+                f"{type(self._values[0]).__name__}"
+            ) from error
+        if values.ndim != 1:  # e.g. sequence values forming a matrix
+            raise TypeError("batch lookup requires scalar float values")
+        keys = np.asarray(self._keys, dtype=np.uint64)
+        n = self._n
+        # Independent stream from the scalar build's: offset the seed.
+        rng = random.Random(self._seed + 0x5EED_F02E)
+        level1_bits = max(1, (n - 1).bit_length())
+        level1_shift = 64 - level1_bits
+        num_buckets = 1 << level1_bits
+        for _ in range(self._MAX_LEVEL1_RETRIES):
+            level1_a = rng.randrange(1, 1 << 64) | 1
+            buckets = ((np.uint64(level1_a) * keys)
+                       >> np.uint64(level1_shift)).astype(np.int64)
+            counts = np.bincount(buckets, minlength=num_buckets)
+            if int(np.sum(counts * counts)) <= 8 * n:
+                break
+        else:  # pragma: no cover - astronomically unlikely
+            raise RuntimeError("frozen level-1 failed to converge")
+
+        level2_a = np.ones(num_buckets, dtype=np.uint64)
+        # Empty buckets share one all-empty 2-slot region at offset 0;
+        # a shift of 63 keeps their probed slot inside it.
+        level2_shift = np.full(num_buckets, 63, dtype=np.uint64)
+        level2_offset = np.zeros(num_buckets, dtype=np.int64)
+        order = np.argsort(buckets, kind="stable")
+        boundaries = np.searchsorted(buckets[order],
+                                     np.arange(num_buckets + 1))
+        starts = boundaries[:-1]
+
+        # Singleton buckets — the vast majority — are collision-free
+        # under any multiplier, so one shared draw handles them all in
+        # a few vectorized passes (2-slot tables each).
+        singles = np.flatnonzero(counts == 1)
+        multis = np.flatnonzero(counts >= 2)
+        single_a = np.uint64(rng.randrange(1, 1 << 64) | 1)
+        single_members = order[starts[singles]]
+        single_offsets = 2 + 2 * np.arange(singles.size, dtype=np.int64)
+        level2_a[singles] = single_a
+        level2_offset[singles] = single_offsets
+        single_slots = ((single_a * keys[single_members])
+                        >> np.uint64(63)).astype(np.int64)
+
+        multi_bits = [
+            max(1, int(2 * int(counts[b]) ** 2 - 1).bit_length())
+            for b in multis
+        ]
+        total = 2 + 2 * singles.size + sum(1 << bits
+                                           for bits in multi_bits)
+        slots = np.full(total, -1, dtype=np.int64)
+        slots[single_offsets + single_slots] = single_members
+        offset = 2 + 2 * singles.size
+        for bucket_id, bits in zip(multis, multi_bits):
+            members = order[boundaries[bucket_id]:
+                            boundaries[bucket_id + 1]]
+            member_keys = keys[members]
+            for _ in range(self._MAX_BUCKET_RETRIES):
+                a = rng.randrange(1, 1 << 64) | 1
+                slot = (np.uint64(a) * member_keys) \
+                    >> np.uint64(64 - bits)
+                if np.unique(slot).size == members.size:
+                    break
+            else:  # pragma: no cover - astronomically unlikely
+                raise RuntimeError("frozen bucket failed to converge")
+            slots[offset + slot.astype(np.int64)] = members
+            level2_a[bucket_id] = a
+            level2_shift[bucket_id] = 64 - bits
+            level2_offset[bucket_id] = offset
+            offset += 1 << bits
+        self._frozen = _FrozenTables(
+            level1_a, level1_shift, keys=keys, values=values,
+            level2_a=level2_a, level2_shift=level2_shift,
+            level2_offset=level2_offset, slots=slots,
+        )
+        return self._frozen
+
+    def get_batch(self, keys, default: float = float("nan")) -> np.ndarray:
+        """Vectorized :meth:`get` over an array of non-negative int keys.
+
+        Returns a float64 array of ``keys``'s shape holding the stored
+        value per present key and ``default`` per absent key; requires
+        the map's values to be floats.  Lookups agree with :meth:`get`
+        key for key (both address the same key/value arrays); the batch
+        path probes the frozen multiply-shift tables, costing ~10 NumPy
+        passes for the *whole* batch instead of two modular hash
+        evaluations per key in Python.
+
+        Keys outside the stored set — including sentinel-padded pair
+        keys beyond the packed-id domain — resolve to ``default``.
+        """
+        key_array = np.asarray(keys, dtype=np.uint64)
+        if self._n == 0:
+            return np.full(key_array.shape, default, dtype=np.float64)
+        tables = self._freeze()
+        flat = np.ascontiguousarray(key_array).reshape(-1)
+        bucket = (tables.level1_a * flat) >> tables.level1_shift
+        slot = ((tables.level2_a[bucket] * flat)
+                >> tables.level2_shift[bucket]).astype(np.int64)
+        index = tables.slots[tables.level2_offset[bucket] + slot]
+        guarded = np.where(index >= 0, index, 0)
+        found = (index >= 0) & (tables.keys[guarded] == flat)
+        result = np.where(found, tables.values[guarded],
+                          np.float64(default))
+        return result.reshape(key_array.shape)
 
     # ------------------------------------------------------------------
     # size accounting (for the oracle's size model)

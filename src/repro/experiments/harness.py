@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..analysis.error_stats import ErrorStats, measure_errors
 from ..baselines.kalgo import KAlgo
 from ..baselines.sp_oracle import SPOracle
@@ -112,6 +114,16 @@ def _time_queries(query: Callable[[int, int], float],
     return (time.perf_counter() - started) / len(pairs)
 
 
+def _time_query_batch(query_batch: Callable,
+                      pairs: Sequence[Tuple[int, int]]) -> float:
+    """Mean seconds/query of one batched call over the workload."""
+    sources = np.array([source for source, _ in pairs], dtype=np.intp)
+    targets = np.array([target for _, target in pairs], dtype=np.intp)
+    started = time.perf_counter()
+    query_batch(sources, targets)
+    return (time.perf_counter() - started) / len(pairs)
+
+
 def _se_factory(strategy: str, method: str):
     def run(mesh: TriangleMesh, pois: POISet, epsilon: float,
             points_per_edge: int, seed: int, jobs: int = 1):
@@ -124,9 +136,14 @@ def _se_factory(strategy: str, method: str):
             "height": float(oracle.height),
             "pairs": float(oracle.num_pairs),
         }
-        if method == "naive":
-            return build, oracle.size_bytes(), oracle.query_naive, extra
-        return build, oracle.size_bytes(), oracle.query, extra
+        tick = time.perf_counter()
+        oracle.compiled()
+        extra["compile_seconds"] = time.perf_counter() - tick
+        # The naive variant keeps its O(h²) scalar scan for the scalar
+        # timing; the compiled tables answer both variants identically.
+        scalar = oracle.query_naive if method == "naive" else oracle.query
+        return (build, oracle.size_bytes(), scalar, oracle.query_batch,
+                extra)
     return run
 
 
@@ -143,7 +160,7 @@ def _sp_factory():
         def query(source: int, target: int) -> float:
             return oracle.query_p2p(pois, source, target)
 
-        return build, oracle.size_bytes(), query, {
+        return build, oracle.size_bytes(), query, None, {
             "sites": float(oracle.num_sites)}
     return run
 
@@ -154,7 +171,7 @@ def _kalgo_factory():
         started = time.perf_counter()
         algo = KAlgo(mesh, pois, epsilon).build()
         build = time.perf_counter() - started
-        return build, algo.size_bytes(), algo.query, {}
+        return build, algo.size_bytes(), algo.query, None, {}
     return run
 
 
@@ -180,6 +197,11 @@ def run_p2p_experiment(mesh: TriangleMesh, pois: POISet, epsilon: float,
     ``jobs`` parallelises the SE builds' fan-out stage; reported
     build times then measure the parallel pipeline, while results
     stay bit-identical to serial builds.
+
+    Methods exposing a batched query path additionally report serving
+    throughput in ``extra``: ``scalar_qps`` (1 / mean scalar query)
+    and ``batch_qps`` (queries/second of one ``query_batch`` over the
+    whole workload, post-compile).
     """
     pairs = generate_query_pairs(len(pois), num_queries, seed=seed)
     reference = GeodesicEngine(mesh, pois, points_per_edge=points_per_edge)
@@ -196,9 +218,15 @@ def run_p2p_experiment(mesh: TriangleMesh, pois: POISet, epsilon: float,
         if name not in P2P_METHODS:
             raise KeyError(f"unknown method {name!r}; choose from "
                            f"{sorted(P2P_METHODS)}")
-        build, size, query, extra = P2P_METHODS[name](
+        build, size, query, query_batch, extra = P2P_METHODS[name](
             mesh, pois, epsilon, points_per_edge, seed, jobs=jobs)
         mean_query = _time_queries(query, pairs)
+        if query_batch is not None:
+            mean_batched = _time_query_batch(query_batch, pairs)
+            extra["scalar_qps"] = (1.0 / mean_query if mean_query > 0
+                                   else float("inf"))
+            extra["batch_qps"] = (1.0 / mean_batched if mean_batched > 0
+                                  else float("inf"))
         errors = measure_errors(query, exact, pairs)
         results.append(MethodResult(
             method=name, build_seconds=build, size_bytes=size,

@@ -1,17 +1,32 @@
-"""Proximity queries (kNN / range / RNN) over a distance oracle."""
+"""Proximity queries (kNN / range / RNN) over a distance oracle.
+
+Functions dispatch on the oracle's capabilities: one vectorised
+``query_batch``/``query_matrix`` call on batched oracles (compiled SE,
+full-APSP), a probe-per-pair scan on scalar ones (dynamic SE, K-Algo).
+The ``*_scalar`` reference implementations are exported as the
+executable specification of the result semantics.
+"""
 
 from .proximity import (
+    BatchDistanceOracleProtocol,
     DistanceOracleProtocol,
     k_nearest_neighbors,
+    k_nearest_neighbors_scalar,
     nearest_neighbor,
     range_query,
+    range_query_scalar,
     reverse_nearest_neighbors,
+    reverse_nearest_neighbors_scalar,
 )
 
 __all__ = [
+    "BatchDistanceOracleProtocol",
     "DistanceOracleProtocol",
     "k_nearest_neighbors",
+    "k_nearest_neighbors_scalar",
     "nearest_neighbor",
     "range_query",
+    "range_query_scalar",
     "reverse_nearest_neighbors",
+    "reverse_nearest_neighbors_scalar",
 ]

@@ -3,96 +3,277 @@
 The paper motivates SE as the substrate for "proximity queries such as
 nearest neighbor queries, range queries and reverse nearest neighbor
 queries".  This module provides those three query types over any object
-exposing ``query(source, target) -> float`` (an :class:`~repro.core.
-oracle.SEOracle`, a :class:`~repro.baselines.full_apsp.
-FullAPSPBaseline`, or a :class:`~repro.baselines.kalgo.KAlgo`):
+answering POI-to-POI distance queries:
 
 * :func:`k_nearest_neighbors` — kNN by geodesic distance;
 * :func:`range_query` — all POIs within a geodesic radius;
 * :func:`reverse_nearest_neighbors` — monochromatic RNN: POIs whose
   nearest neighbour is the query POI.
 
-Each call costs O(n) oracle probes (O(n h) time with SE), which is the
-design the paper enables: cheap probes make scan-based proximity
-queries practical.
+Cost model
+----------
+Every function accepts either protocol and picks the fastest path the
+oracle supports:
+
+* **batched** (:class:`BatchDistanceOracleProtocol` — a compiled
+  :class:`~repro.core.oracle.SEOracle`, a :class:`~repro.core.compiled.
+  CompiledOracle`, or a :class:`~repro.baselines.full_apsp.
+  FullAPSPBaseline`): one ``query_batch`` call materialises the whole
+  candidate row as a float64 array, so a kNN/range scan costs a few
+  NumPy passes over ``n`` distances plus an ``argpartition`` — roughly
+  O(n + k log k) selection work instead of a Python loop with a full
+  sort.  RNN consumes one ``query_batch`` per candidate row (O(n²)
+  distances, vectorised row-wise).
+* **scalar** (:class:`DistanceOracleProtocol` — a
+  :class:`~repro.core.dynamic.DynamicSEOracle`, a
+  :class:`~repro.baselines.kalgo.KAlgo`, or any plain ``query``
+  object): O(n) individual probes per scan, the design the paper
+  enables — cheap probes make scan-based proximity queries practical.
+
+Both paths return identical results (the golden suite in
+``tests/test_proximity_vectorized.py`` pins this, tie-breaking
+included); the ``*_scalar`` reference implementations stay exported as
+the executable specification.
+
+Unreachable POIs
+----------------
+A POI pair on disconnected terrain components has no geodesic path; an
+oracle reports that as ``inf`` (or ``nan`` from a defective backend).
+Sorting raw ``(distance, poi)`` tuples would order such entries
+nondeterministically under ``nan``, so the semantics are explicit:
+
+* kNN and range queries **exclude** unreachable POIs — a non-finite
+  distance is never a neighbour;
+* :func:`nearest_neighbor` raises ``ValueError`` when no reachable
+  POI exists;
+* RNN excludes candidates unreachable from the query POI, and an
+  unreachable third POI never disqualifies a candidate (``inf`` loses
+  every strict comparison).
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol, Tuple
+import math
+from typing import List, Protocol, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "DistanceOracleProtocol",
+    "BatchDistanceOracleProtocol",
     "k_nearest_neighbors",
+    "k_nearest_neighbors_scalar",
     "range_query",
+    "range_query_scalar",
     "reverse_nearest_neighbors",
+    "reverse_nearest_neighbors_scalar",
     "nearest_neighbor",
 ]
 
 
 class DistanceOracleProtocol(Protocol):
-    """Anything answering POI-to-POI distance queries."""
+    """Anything answering POI-to-POI distance queries one at a time."""
 
     def query(self, source: int, target: int) -> float: ...
 
 
-def k_nearest_neighbors(oracle: DistanceOracleProtocol, source: int,
-                        k: int, num_pois: int) -> List[Tuple[int, float]]:
+class BatchDistanceOracleProtocol(Protocol):
+    """Anything answering aligned batches of distance queries at once."""
+
+    def query_batch(self, sources: Sequence[int],
+                    targets: Sequence[int]) -> np.ndarray: ...
+
+
+def _distance_row(oracle, source: int, targets: np.ndarray) -> np.ndarray:
+    """Distances from ``source`` to every id in ``targets`` (float64).
+
+    Dispatches to ``query_batch`` when the oracle has one (one
+    vectorised call), else loops the scalar protocol.
+    """
+    if hasattr(oracle, "query_batch"):
+        sources = np.full(targets.shape, source, dtype=np.intp)
+        return np.asarray(oracle.query_batch(sources, targets),
+                          dtype=np.float64)
+    return np.array([oracle.query(source, int(target))
+                     for target in targets], dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# k nearest neighbors
+# ----------------------------------------------------------------------
+def k_nearest_neighbors(oracle, source: int, k: int,
+                        num_pois: int) -> List[Tuple[int, float]]:
     """The ``k`` POIs nearest to ``source`` (excluding itself).
 
-    Returns ``(poi, distance)`` pairs sorted by distance (ties broken by
-    POI index for determinism).
+    Returns ``(poi, distance)`` pairs sorted by distance (ties broken
+    by POI index for determinism).  Unreachable POIs (non-finite
+    distance) are excluded; fewer than ``k`` results mean fewer than
+    ``k`` reachable POIs exist.
+
+    Selection is O(n) oracle probes — one ``query_batch`` on a batched
+    oracle — plus an ``argpartition`` restricted to the ``k`` smallest
+    distances, so only the winners pay the comparison sort.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    targets = np.array([target for target in range(num_pois)
+                        if target != source], dtype=np.intp)
+    if k == 0 or targets.size == 0:
+        return []
+    distances = _distance_row(oracle, source, targets)
+    reachable = np.isfinite(distances)
+    targets, distances = targets[reachable], distances[reachable]
+    if 0 < k < targets.size:
+        # Partition on distance alone, then widen to every tie of the
+        # cutoff value so the (distance, poi) tie-break below stays
+        # exact — argpartition's boundary choice is arbitrary.
+        nearest = np.argpartition(distances, k - 1)[:k]
+        cutoff = distances[nearest].max()
+        keep = distances <= cutoff
+        targets, distances = targets[keep], distances[keep]
+    order = np.lexsort((targets, distances))[:k]
+    return [(int(targets[i]), float(distances[i])) for i in order]
+
+
+def k_nearest_neighbors_scalar(oracle: DistanceOracleProtocol, source: int,
+                               k: int, num_pois: int
+                               ) -> List[Tuple[int, float]]:
+    """Reference implementation of :func:`k_nearest_neighbors`.
+
+    Pure-Python scan with a full sort; the vectorised path must match
+    it result-for-result (including tie-breaks).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
     candidates = [
-        (oracle.query(source, target), target)
+        (distance, target)
         for target in range(num_pois) if target != source
+        if math.isfinite(distance := oracle.query(source, target))
     ]
     candidates.sort()
     return [(poi, distance) for distance, poi in candidates[:k]]
 
 
-def nearest_neighbor(oracle: DistanceOracleProtocol, source: int,
+def nearest_neighbor(oracle, source: int,
                      num_pois: int) -> Tuple[int, float]:
-    """The single nearest POI to ``source``."""
+    """The single nearest reachable POI to ``source``.
+
+    Raises ``ValueError`` when no other reachable POI exists.
+    """
     result = k_nearest_neighbors(oracle, source, 1, num_pois)
     if not result:
-        raise ValueError("no other POI exists")
+        raise ValueError("no reachable POI exists")
     return result[0]
 
 
-def range_query(oracle: DistanceOracleProtocol, source: int,
-                radius: float, num_pois: int) -> List[Tuple[int, float]]:
-    """All POIs within geodesic ``radius`` of ``source`` (excl. itself)."""
+# ----------------------------------------------------------------------
+# range queries
+# ----------------------------------------------------------------------
+def range_query(oracle, source: int, radius: float,
+                num_pois: int) -> List[Tuple[int, float]]:
+    """All POIs within geodesic ``radius`` of ``source`` (excl. itself).
+
+    Results are ``(poi, distance)`` sorted by distance (ties by POI
+    index); unreachable POIs are never inside a finite radius.  One
+    ``query_batch`` plus a mask on a batched oracle.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    targets = np.array([target for target in range(num_pois)
+                        if target != source], dtype=np.intp)
+    if targets.size == 0:
+        return []
+    distances = _distance_row(oracle, source, targets)
+    inside = np.isfinite(distances) & (distances <= radius)
+    targets, distances = targets[inside], distances[inside]
+    order = np.lexsort((targets, distances))
+    return [(int(targets[i]), float(distances[i])) for i in order]
+
+
+def range_query_scalar(oracle: DistanceOracleProtocol, source: int,
+                       radius: float, num_pois: int
+                       ) -> List[Tuple[int, float]]:
+    """Reference implementation of :func:`range_query` (pure Python)."""
     if radius < 0:
         raise ValueError("radius must be non-negative")
     hits = [
         (distance, target)
         for target in range(num_pois) if target != source
         if (distance := oracle.query(source, target)) <= radius
+        and math.isfinite(distance)
     ]
     hits.sort()
     return [(poi, distance) for distance, poi in hits]
 
 
-def reverse_nearest_neighbors(oracle: DistanceOracleProtocol, source: int,
+# ----------------------------------------------------------------------
+# reverse nearest neighbors
+# ----------------------------------------------------------------------
+def reverse_nearest_neighbors(oracle, source: int,
                               num_pois: int) -> List[int]:
     """Monochromatic RNN: POIs whose nearest neighbour is ``source``.
 
     Note the asymmetry with kNN: ``q`` is in ``RNN(source)`` iff no
-    third POI is closer to ``q`` than ``source`` is.
+    third POI is strictly closer to ``q`` than ``source`` is.
+    Candidates unreachable from ``source`` are excluded; an unreachable
+    third POI never disqualifies a candidate.
+
+    On a batched oracle each candidate's row is one ``query_batch``
+    (``query_matrix`` when available resolves all rows in a single
+    call); scalar oracles fall back to the probe-per-pair scan.
     """
+    candidates = np.array([poi for poi in range(num_pois)
+                           if poi != source], dtype=np.intp)
+    if candidates.size == 0:
+        return []
+    if hasattr(oracle, "query_matrix"):
+        # Restrict to the first num_pois ids: a caller may scope the
+        # query to a prefix of a larger oracle, and POIs outside the
+        # scope must not act as disqualifying third POIs.
+        matrix = np.asarray(
+            oracle.query_matrix(np.arange(num_pois, dtype=np.intp)),
+            dtype=np.float64)
+        rows = matrix[candidates]
+    elif hasattr(oracle, "query_batch"):
+        grid_t = np.tile(np.arange(num_pois, dtype=np.intp),
+                         candidates.size)
+        grid_s = np.repeat(candidates, num_pois)
+        rows = np.asarray(oracle.query_batch(grid_s, grid_t),
+                          dtype=np.float64).reshape(candidates.size,
+                                                    num_pois)
+    else:
+        return reverse_nearest_neighbors_scalar(oracle, source, num_pois)
+
+    to_source = rows[:, source]
+    # Third-POI distances: mask out the candidate itself and the query
+    # POI, neutralise non-finite entries (they never win a strict
+    # comparison), then compare the row minimum against to_source.
+    others = rows.copy()
+    others[np.arange(candidates.size), candidates] = np.inf
+    others[:, source] = np.inf
+    others[~np.isfinite(others)] = np.inf
+    closest_other = others.min(axis=1)
+    qualified = np.isfinite(to_source) & (closest_other >= to_source)
+    return [int(poi) for poi in candidates[qualified]]
+
+
+def reverse_nearest_neighbors_scalar(oracle: DistanceOracleProtocol,
+                                     source: int,
+                                     num_pois: int) -> List[int]:
+    """Reference implementation of :func:`reverse_nearest_neighbors`."""
     result = []
     for candidate in range(num_pois):
         if candidate == source:
             continue
         to_source = oracle.query(candidate, source)
+        if not math.isfinite(to_source):
+            continue
         is_rnn = True
         for other in range(num_pois):
             if other in (candidate, source):
                 continue
-            if oracle.query(candidate, other) < to_source:
+            distance = oracle.query(candidate, other)
+            if math.isfinite(distance) and distance < to_source:
                 is_rnn = False
                 break
         if is_rnn:

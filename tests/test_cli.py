@@ -77,6 +77,43 @@ class TestBuildAndQuery:
             main(["query", str(terrain_file), str(oracle_path),
                   "0", "1", "--pois", "12"])
 
+    def test_positionals_after_options(self, terrain_file, tmp_path,
+                                       capsys):
+        """Ids may trail (or straddle) options, as the docs show."""
+        oracle_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--epsilon", "0.2", "--out", str(oracle_path)])
+        capsys.readouterr()
+        for argv in (
+            ["query", str(terrain_file), str(oracle_path),
+             "--pois", "10", "0", "7"],
+            ["query", str(terrain_file), str(oracle_path),
+             "0", "--pois", "10", "7"],
+        ):
+            assert main(argv) == 0
+            assert "d(0, 7)" in capsys.readouterr().out
+
+    def test_query_batch_verb(self, terrain_file, tmp_path, capsys):
+        oracle_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--epsilon", "0.2", "--out", str(oracle_path)])
+        capsys.readouterr()
+        code = main(["query", str(terrain_file), str(oracle_path),
+                     "--pois", "10", "--batch", "0:7", "2:5",
+                     "--random", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "d(0, 7)" in out and "d(2, 5)" in out
+        assert "q/s" in out
+
+    def test_query_without_ids_or_batch_fails(self, terrain_file,
+                                              tmp_path):
+        oracle_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--epsilon", "0.2", "--out", str(oracle_path)])
+        assert main(["query", str(terrain_file), str(oracle_path),
+                     "--pois", "10"]) == 2
+
     def test_greedy_strategy(self, terrain_file, tmp_path):
         oracle_path = tmp_path / "g.json"
         assert main(["build", str(terrain_file), "--pois", "8",

@@ -1,5 +1,6 @@
 """Tests for the FKS perfect hashing scheme and pair packing."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -112,6 +113,87 @@ class TestPerfectHashMap:
         for u, v in pairs:
             assert table[pack_pair(u, v)] == (u, v)
         assert pack_pair(25, 25) not in table
+
+
+class TestBatchLookup:
+    """get_batch agrees with get, key for key, on float-valued maps."""
+
+    def test_present_keys(self):
+        entries = [(i * 13 + 5, float(i) * 1.7) for i in range(800)]
+        table = PerfectHashMap(entries, seed=9)
+        keys = np.array([key for key, _ in entries], dtype=np.uint64)
+        values = table.get_batch(keys)
+        assert values.dtype == np.float64
+        assert all(values[i] == table.get(int(keys[i]))
+                   for i in range(keys.size))
+
+    def test_absent_keys_hit_default(self):
+        table = PerfectHashMap([(3, 1.5), (9, 2.5)], seed=1)
+        probes = np.array([3, 4, 9, 10, 2**63], dtype=np.uint64)
+        values = table.get_batch(probes, default=-1.0)
+        assert values.tolist() == [1.5, -1.0, 2.5, -1.0, -1.0]
+        assert np.isnan(table.get_batch(np.array([4],
+                                                 dtype=np.uint64)))[0]
+
+    def test_shape_preserved(self):
+        table = PerfectHashMap([(i, float(i)) for i in range(12)])
+        probes = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        assert table.get_batch(probes).shape == (3, 4)
+        assert (table.get_batch(probes)
+                == probes.astype(np.float64)).all()
+
+    def test_empty_map(self):
+        table = PerfectHashMap([])
+        values = table.get_batch(np.array([1, 2], dtype=np.uint64))
+        assert np.isnan(values).all()
+
+    def test_packed_pair_keys_including_sentinels(self):
+        """The compiled oracle's -1-padded keys must probe as misses."""
+        pairs = [(u, v) for u in range(15) for v in range(15)]
+        table = PerfectHashMap(
+            [(pack_pair(u, v), float(u * 100 + v)) for u, v in pairs],
+            seed=4)
+        mask = np.uint64(0xFFFFFFFF)
+        padded = (mask << np.uint64(32)) | np.uint64(3)  # source id -1
+        probes = np.array([pack_pair(2, 7), padded, pack_pair(14, 0)],
+                          dtype=np.uint64)
+        values = table.get_batch(probes)
+        assert values[0] == 207.0
+        assert np.isnan(values[1])
+        assert values[2] == 1400.0
+
+    def test_non_float_values_rejected(self):
+        table = PerfectHashMap([(1, "a"), (2, "b")])
+        with pytest.raises(TypeError):
+            table.get_batch(np.array([1], dtype=np.uint64))
+
+    def test_deterministic_frozen_tables(self):
+        entries = [(i * 7, float(i)) for i in range(200)]
+        one = PerfectHashMap(entries, seed=5)
+        two = PerfectHashMap(entries, seed=5)
+        assert one._freeze().level1_a == two._freeze().level1_a
+        assert (one._freeze().slots == two._freeze().slots).all()
+
+    # Stored keys stay below the scalar hash's Mersenne prime 2^61-1
+    # (its universal family needs key < p; key == p aliases key 0).
+    # Probes may be any uint64 — the frozen tables accept the full
+    # domain, and out-of-domain probes must come back as misses.
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(st.integers(0, 2**61 - 2), st.floats(
+        allow_nan=False, allow_infinity=True), min_size=1, max_size=120),
+        st.integers(0, 2**16))
+    def test_matches_scalar_get_property(self, entries, seed):
+        table = PerfectHashMap(list(entries.items()), seed=seed)
+        present = np.array(list(entries), dtype=np.uint64)
+        rng = np.random.default_rng(seed)
+        absent = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+        probes = np.concatenate([present, absent])
+        values = table.get_batch(probes, default=np.inf)
+        for index, probe in enumerate(probes.tolist()):
+            expected = table.get(probe, np.inf)
+            got = values[index]
+            assert got == expected or (np.isnan(got)
+                                       and np.isnan(expected))
 
 
 @settings(max_examples=60, deadline=None)

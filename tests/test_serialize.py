@@ -1,6 +1,7 @@
 """Tests for oracle persistence (save/load round-trips)."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -122,7 +123,7 @@ class TestParallelBuildRoundTrip:
         path = tmp_path / "parallel.json"
         save_oracle(parallel, path)
         document = json.loads(path.read_text())
-        assert document["version"] == FORMAT_VERSION == 2
+        assert document["version"] == FORMAT_VERSION == 3
         assert document["build"] == {"executor": "multiprocess", "jobs": 2}
         loaded = load_oracle(path, workload)
         assert loaded.stats.executor == "multiprocess"
@@ -139,6 +140,109 @@ class TestParallelBuildRoundTrip:
         assert loaded.stats.executor == "serial"
         assert loaded.stats.jobs == 1
         assert loaded.query(0, 1) == built.query(0, 1)
+
+
+class TestFormatV3Compiled:
+    """Format v3: the optional compiled-table (serving) section."""
+
+    def test_uncompiled_save_omits_section(self, built, workload, tmp_path):
+        path = tmp_path / "plain.json"
+        fresh = SEOracle(workload, epsilon=0.2, seed=4).build()
+        save_oracle(fresh, path)
+        document = json.loads(path.read_text())
+        assert document["version"] == 3
+        assert "compiled" not in document
+        loaded = load_oracle(path, workload)
+        assert not loaded.is_compiled  # compiles on demand below
+        assert loaded.query_batch([0], [1])[0] == loaded.query(0, 1)
+        assert loaded.is_compiled
+
+    def test_compiled_save_embeds_section(self, built, workload, tmp_path):
+        path = tmp_path / "compiled.json"
+        fresh = SEOracle(workload, epsilon=0.2, seed=4).build()
+        fresh.compiled()
+        save_oracle(fresh, path)  # compiled=None -> include (is_compiled)
+        document = json.loads(path.read_text())
+        assert "compiled" in document
+        tables = fresh.compiled()
+        assert document["compiled"]["height"] == tables.height
+        assert document["compiled"]["chains"] == tables.chains.tolist()
+
+    def test_explicit_compiled_flag(self, built, workload, tmp_path):
+        with_path = tmp_path / "with.json"
+        without_path = tmp_path / "without.json"
+        fresh = SEOracle(workload, epsilon=0.2, seed=4).build()
+        save_oracle(fresh, with_path, compiled=True)
+        assert fresh.is_compiled  # compiled=True forced compilation
+        save_oracle(fresh, without_path, compiled=False)
+        assert "compiled" in json.loads(with_path.read_text())
+        assert "compiled" not in json.loads(without_path.read_text())
+
+    def test_roundtrip_with_tables_answers_identically(self, built,
+                                                       workload, tmp_path):
+        path = tmp_path / "compiled.json"
+        save_oracle(built, path, compiled=True)
+        loaded = load_oracle(path, workload)
+        assert loaded.is_compiled  # no recompile needed after load
+        n = workload.num_pois
+        import numpy as np
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        batched = loaded.query_batch(sources, targets)
+        for index in range(sources.size):
+            assert batched[index] == built.query(int(sources[index]),
+                                                 int(targets[index]))
+
+    def test_loaded_tables_match_recompiled(self, built, workload,
+                                            tmp_path):
+        path = tmp_path / "compiled.json"
+        save_oracle(built, path, compiled=True)
+        loaded = load_oracle(path, workload)
+        from_document = loaded.compiled()
+        recompiled = loaded.compiled(refresh=True)
+        assert (from_document.chains == recompiled.chains).all()
+
+
+class TestVersion2Fixture:
+    """A checked-in v2 document (predating compiled tables) still
+    loads — and compiles on demand — on the current code."""
+
+    FIXTURE = pathlib.Path(__file__).parent / "data" / "oracle_v2.json"
+
+    def test_fixture_is_version_2(self):
+        document = json.loads(self.FIXTURE.read_text())
+        assert document["version"] == 2
+        assert "compiled" not in document
+
+    def test_loads_and_compiles_on_demand(self, workload):
+        # strict=False: the fixture's fingerprint was recorded on the
+        # machine that generated it; terrain regeneration is seeded but
+        # cross-platform float drift must not fail the compat test.
+        loaded = load_oracle(self.FIXTURE, workload, strict=False)
+        assert not loaded.is_compiled
+        assert loaded.num_pairs == len(
+            json.loads(self.FIXTURE.read_text())["pairs"])
+        import numpy as np
+        n = loaded.engine.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        batched = loaded.query_batch(sources, targets)
+        assert np.isfinite(batched).all()
+        for index in range(0, sources.size, 7):
+            assert batched[index] == loaded.query(int(sources[index]),
+                                                  int(targets[index]))
+
+    def test_resave_upgrades_to_current_format(self, workload, tmp_path):
+        from repro.core.serialize import FORMAT_VERSION
+        loaded = load_oracle(self.FIXTURE, workload, strict=False)
+        loaded.compiled()
+        path = tmp_path / "upgraded.json"
+        save_oracle(loaded, path)
+        document = json.loads(path.read_text())
+        assert document["version"] == FORMAT_VERSION == 3
+        assert "compiled" in document
 
 
 class TestFingerprint:
