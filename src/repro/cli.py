@@ -10,6 +10,10 @@ build
     Build an SE oracle over a mesh + sampled POIs and save it.
 query
     Load a saved oracle and answer POI-to-POI distance queries.
+pack
+    Convert a JSON oracle (v1-v3) to the v4 binary store.
+serve
+    Register packed stores as terrains and serve queries (REPL).
 bench
     Run one of the paper's experiments (fig8..fig14, table1..table3).
 
@@ -22,6 +26,10 @@ Examples
     python -m repro build terrain.off --pois 50 --epsilon 0.1 \
         --out oracle.json
     python -m repro query terrain.off oracle.json --pois 50 3 41
+    python -m repro pack oracle.json --out oracle.store
+    python -m repro query terrain.off oracle.store --pois 50 --store \
+        --batch --random 1000
+    python -m repro serve alps=oracle.store --repl
     python -m repro bench fig8 --scale tiny
 """
 
@@ -96,6 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "query pairs to the batch")
     query.add_argument("--pair-seed", type=int, default=0,
                        help="seed of the --random pair workload")
+    query.add_argument("--store", action="store_true",
+                       help="the oracle file is a v4 binary store: open "
+                            "it zero-copy (mmap) and report the load "
+                            "time alongside the answers")
+
+    pack = commands.add_parser(
+        "pack", help="convert a JSON oracle to the v4 binary store")
+    pack.add_argument("oracle", help="JSON oracle file (format v1-v3)")
+    pack.add_argument("--out", required=True,
+                      help="binary store output (.store)")
+
+    serve = commands.add_parser(
+        "serve", help="serve packed oracle stores for many terrains")
+    serve.add_argument("terrains", nargs="+", metavar="NAME=STORE",
+                       help="terrain registrations, e.g. alps=alps.store")
+    serve.add_argument("--max-resident", type=int, default=4,
+                       help="LRU bound on simultaneously resident "
+                            "compiled tables")
+    serve.add_argument("--repl", action="store_true",
+                       help="read query/batch/knn/range/rnn/stats "
+                            "commands from stdin (one per line)")
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -158,8 +187,29 @@ def _cmd_build(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    from .core import load_oracle
+    from .core import load_oracle, open_oracle
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
+    if args.store:
+        stored = open_oracle(args.oracle, engine=engine)
+        print(f"opened {args.oracle} in "
+              f"{stored.load_seconds * 1e3:.2f} ms "
+              f"(mmap, n={stored.num_pois} pairs={stored.num_pairs})")
+        if args.batch is not None:
+            return _run_query_batch(args, stored)
+        if args.source is None or args.target is None:
+            print("error: source and target are required without --batch",
+                  file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        distance = stored.query(args.source, args.target)
+        micros = (time.perf_counter() - started) * 1e6
+        print(f"d({args.source}, {args.target}) = {distance:.3f} "
+              f"[{micros:.1f} us]")
+        if args.exact:
+            exact = engine.distance(args.source, args.target)
+            error = abs(distance - exact) / exact if exact else 0.0
+            print(f"exact = {exact:.3f}  error = {error:.4f}")
+        return 0
     oracle = load_oracle(args.oracle, engine)
     if args.batch is not None:
         return _run_query_batch(args, oracle)
@@ -180,7 +230,11 @@ def _cmd_query(args) -> int:
 
 
 def _run_query_batch(args, oracle) -> int:
-    """The ``query --batch`` verb: compiled tables, one batched call."""
+    """The ``query --batch`` verb: compiled tables, one batched call.
+
+    ``oracle`` is a loaded :class:`SEOracle` or an opened
+    :class:`~repro.core.store.StoredOracle` (``--store``).
+    """
     import numpy as np
 
     pairs = []
@@ -197,15 +251,16 @@ def _run_query_batch(args, oracle) -> int:
     if args.random_pairs:
         from .experiments.harness import generate_query_pairs
         pairs.extend(generate_query_pairs(
-            oracle.engine.num_pois, args.random_pairs,
-            seed=args.pair_seed))
+            oracle.num_pois, args.random_pairs, seed=args.pair_seed))
     if not pairs:
         print("error: --batch needs S:T pairs and/or --random N",
               file=sys.stderr)
         return 2
 
+    from .core.store import StoredOracle
     tick = time.perf_counter()
-    compiled = oracle.compiled()
+    compiled = (oracle.compiled if isinstance(oracle, StoredOracle)
+                else oracle.compiled())
     sources = np.array([source for source, _ in pairs], dtype=np.intp)
     targets = np.array([target for _, target in pairs], dtype=np.intp)
     compiled.query_batch(sources[:1], targets[:1])  # freeze the tables
@@ -223,6 +278,127 @@ def _run_query_batch(args, oracle) -> int:
     print(f"{len(pairs)} queries in {elapsed * 1e3:.2f} ms "
           f"-> {qps:,.0f} q/s  [compile {compile_ms:.1f} ms, "
           f"h={compiled.height}]")
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    import json
+    import os
+
+    from .core import pack_document
+    tick = time.perf_counter()
+    with open(args.oracle) as handle:
+        document = json.load(handle)
+    pack_document(document, args.out)
+    elapsed = time.perf_counter() - tick
+    json_bytes = os.path.getsize(args.oracle)
+    store_bytes = os.path.getsize(args.out)
+    from .core.store import open_oracle
+    stored = open_oracle(args.out)
+    print(f"packed {args.oracle} (v{document.get('version')}, "
+          f"{json_bytes / 1024:.1f}KB) -> {args.out} "
+          f"(v4, {store_bytes / 1024:.1f}KB) in {elapsed:.2f}s")
+    print(f"open: {stored.load_seconds * 1e3:.2f} ms mmap, "
+          f"n={stored.num_pois} pairs={stored.num_pairs} "
+          f"h={stored.compiled.height}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import OracleService
+    service = OracleService(max_resident=args.max_resident)
+    import zipfile
+    for token in args.terrains:
+        name, _, path = token.partition("=")
+        if not name or not path:
+            print(f"error: malformed registration {token!r}; "
+                  "expected NAME=STORE", file=sys.stderr)
+            return 2
+        try:
+            meta = service.register(name, path)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            print(f"error: cannot register {name}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"registered {name}: {path} "
+              f"(epsilon={meta['epsilon']} h={meta['tree']['height']} "
+              f"pairs={meta['stats']['pairs_stored']})")
+    if not args.repl:
+        print(f"{len(service.terrains())} terrains registered "
+              f"(max resident: {service.max_resident}); "
+              "pass --repl to serve queries from stdin")
+        return 0
+    return _serve_repl(service)
+
+
+def _serve_repl(service) -> int:
+    """Line-oriented REPL: one command per stdin line.
+
+    Commands: ``query T S D``, ``batch T S:D [S:D ...]``,
+    ``knn T S K``, ``range T S RADIUS``, ``rnn T S``, ``terrains``,
+    ``stats``, ``quit``.
+
+    One bad line must never kill the loop: besides parse errors, a
+    lazily (re-)loaded store can fail at query time (file replaced or
+    deleted after registration or an LRU eviction) and a defective
+    store can raise from the query kernel itself — all of it is
+    reported per line while other terrains keep serving.
+    """
+    import json
+    import zipfile
+
+    print("serving; commands: query/batch/knn/range/rnn/terrains/"
+          "stats/quit")
+    for line in sys.stdin:
+        tokens = line.split()
+        if not tokens:
+            continue
+        verb = tokens[0].lower()
+        try:
+            if verb in ("quit", "exit"):
+                break
+            elif verb == "terrains":
+                for name in service.terrains():
+                    resident = name in service.resident_terrains()
+                    print(f"{name}  resident={resident}")
+            elif verb == "stats":
+                print(json.dumps(service.stats(), indent=1,
+                                 sort_keys=True))
+            elif verb == "query":
+                terrain, source, target = tokens[1], int(tokens[2]), \
+                    int(tokens[3])
+                print(f"{service.query(terrain, source, target):.3f}")
+            elif verb == "batch":
+                terrain = tokens[1]
+                pairs = [tuple(int(v) for v in t.split(":", 1))
+                         for t in tokens[2:]]
+                distances = service.query_batch(
+                    terrain, [s for s, _ in pairs],
+                    [t for _, t in pairs])
+                print(" ".join(f"{d:.3f}" for d in distances))
+            elif verb == "knn":
+                terrain, source, k = tokens[1], int(tokens[2]), \
+                    int(tokens[3])
+                hits = service.k_nearest(terrain, source, k)
+                print(" ".join(f"{poi}:{dist:.3f}"
+                               for poi, dist in hits) or "-")
+            elif verb == "range":
+                terrain, source, radius = tokens[1], int(tokens[2]), \
+                    float(tokens[3])
+                hits = service.range_query(terrain, source, radius)
+                print(" ".join(f"{poi}:{dist:.3f}"
+                               for poi, dist in hits) or "-")
+            elif verb == "rnn":
+                terrain, source = tokens[1], int(tokens[2])
+                hits = service.reverse_nearest(terrain, source)
+                print(" ".join(str(poi) for poi in hits) or "-")
+            else:
+                print(f"error: unknown command {verb!r}",
+                      file=sys.stderr)
+        except (KeyError, IndexError, ValueError, OSError,
+                RuntimeError, zipfile.BadZipFile) as error:
+            print(f"error: {error}", file=sys.stderr)
+    print("bye")
     return 0
 
 
@@ -252,6 +428,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
     "query": _cmd_query,
+    "pack": _cmd_pack,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

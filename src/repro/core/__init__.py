@@ -29,6 +29,7 @@ from .partition_tree import (
     build_partition_tree,
 )
 from .serialize import load_oracle, save_oracle, workload_fingerprint
+from .store import StoredOracle, open_oracle, pack_document, pack_oracle
 
 __all__ = [
     "SEOracle",
@@ -41,6 +42,10 @@ __all__ = [
     "save_oracle",
     "load_oracle",
     "workload_fingerprint",
+    "pack_oracle",
+    "pack_document",
+    "open_oracle",
+    "StoredOracle",
     "PartitionTree",
     "PartitionTreeNode",
     "build_partition_tree",

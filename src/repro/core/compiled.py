@@ -70,8 +70,9 @@ class CompiledOracle:
 
     Construct with :meth:`from_oracle` (or ``oracle.compiled()``); the
     raw constructor takes the chain matrix directly, which is how the
-    serializer re-hydrates a format-v3 document without re-walking the
-    tree.
+    serializer re-hydrates a format-v3 document — and the binary store
+    (:mod:`~repro.core.store`) its memory-mapped v4 sections — without
+    re-walking the tree.
 
     Parameters
     ----------
@@ -98,15 +99,12 @@ class CompiledOracle:
         # previous occupied node, at a layer <= k).  -1 where no such
         # node exists (k at or above the leaf layer of that chain).
         num_pois, layers = chains.shape
-        span = np.full_like(chains, -1)
-        for poi in range(num_pois):
-            row = chains[poi]
-            below = -1  # nearest occupied layer <= k, walking downward
-            for k in range(layers - 1, -1, -1):
-                if below != -1:
-                    span[poi, k] = below
-                if row[k] != -1:
-                    below = row[k]
+        span = np.full(chains.shape, -1, dtype=np.int64)
+        below = np.full(num_pois, -1, dtype=np.int64)
+        for k in range(layers - 1, -1, -1):  # O(h) vectorized passes
+            span[:, k] = below
+            occupied = chains[:, k] != -1
+            below = np.where(occupied, chains[:, k], below)
 
         # Pre-packed key planes: OR-ing a high plane row (source) with
         # a low plane row (target) yields pack_pair(node_s, node_t) for

@@ -281,6 +281,13 @@ class SEOracle:
         return self._engine
 
     @property
+    def num_pois(self) -> int:
+        """POI count of the underlying workload (shared with
+        :class:`~repro.core.store.StoredOracle` so batch-serving
+        callers need no duck-typing)."""
+        return self._engine.num_pois
+
+    @property
     def is_built(self) -> bool:
         return self._built
 

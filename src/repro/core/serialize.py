@@ -3,7 +3,7 @@
 A distance oracle's whole point is amortising construction across many
 queries — which usually means across *processes* too.  This module
 serialises a built :class:`~repro.core.oracle.SEOracle` to a compact,
-versioned JSON document (and back) without pickling arbitrary objects:
+versioned document (and back) without pickling arbitrary objects:
 
 * the compressed partition tree (centres, layers, radii, parents);
 * the node pair set (ordered id pairs + distances);
@@ -13,6 +13,30 @@ The terrain/POI workload is *not* embedded — the loader receives the
 (cheap to rebuild or separately stored) :class:`~repro.geodesic.engine.
 GeodesicEngine` and re-attaches it, validating a workload fingerprint
 so an oracle cannot silently be loaded against the wrong terrain.
+
+Format history
+--------------
+v1
+    The original JSON document: tree + pairs + ε/strategy/seed/stats.
+v2
+    Added the ``build`` metadata block (executor kind + jobs of the
+    construction pipeline).
+v3
+    Added the optional ``compiled`` section: the query-serving chain
+    matrix of a compiled oracle, so a serving process can load
+    straight into the batched query path.
+v4
+    The **binary store** (:mod:`~repro.core.store`): an mmap-friendly
+    ``.npz``-style container of flat NumPy sections — tree arrays,
+    pair key/distance arrays, frozen perfect-hash tables, compiled
+    chain matrix — that :func:`~repro.core.store.open_oracle` maps
+    zero-copy into a :class:`~repro.core.compiled.CompiledOracle`.
+    Not a JSON schema: v4 files start with zip magic and are routed
+    to the store reader automatically.
+
+Every older version keeps loading; :func:`load_oracle` sniffs the
+format, and ``python -m repro pack`` (or :func:`save_oracle` with a
+binary target) upgrades any v1–v3 document to v4 losslessly.
 """
 
 from __future__ import annotations
@@ -32,16 +56,18 @@ from .node_pairs import NodePairSet
 from .oracle import SEOracle
 
 __all__ = ["save_oracle", "load_oracle", "workload_fingerprint",
-           "FORMAT_VERSION"]
+           "FORMAT_VERSION", "JSON_FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
-# Version 2 added the "build" metadata block (executor kind + jobs of
-# the construction pipeline).  Version 3 added the optional "compiled"
-# section: the query-serving chain matrix of a compiled oracle, so a
-# serving process can load straight into the batched query path.
-# Older documents remain readable; a v1/v2 load (or a v3 document
-# without the section) simply compiles on demand.
-FORMAT_VERSION = 3
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: The current on-disk format: the v4 binary store (core/store.py).
+FORMAT_VERSION = 4
+#: The newest *JSON document* schema (v4 is binary-only).
+JSON_FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+#: Path suffixes that select the binary store in :func:`save_oracle`.
+BINARY_SUFFIXES = (".store", ".npz", ".bin")
+
+_ZIP_MAGIC = b"PK\x03\x04"
 
 PathLike = Union[str, os.PathLike]
 
@@ -58,8 +84,9 @@ def workload_fingerprint(engine: GeodesicEngine) -> str:
 
 
 def save_oracle(oracle: SEOracle, path: PathLike,
-                compiled: Optional[bool] = None) -> None:
-    """Serialise a built oracle to ``path`` (JSON).
+                compiled: Optional[bool] = None,
+                binary: Optional[bool] = None) -> None:
+    """Serialise a built oracle to ``path`` (JSON or binary store).
 
     Parameters
     ----------
@@ -69,16 +96,28 @@ def save_oracle(oracle: SEOracle, path: PathLike,
         Whether to embed the compiled-table section (format v3):
         ``True`` compiles now if needed, ``False`` omits the section,
         and the default ``None`` embeds it exactly when the oracle has
-        already been compiled.
+        already been compiled.  Ignored for binary targets (the v4
+        store always carries the compiled tables).
+    binary:
+        ``True`` writes the v4 binary store
+        (:func:`~repro.core.store.pack_oracle`), ``False`` the JSON
+        document; the default ``None`` picks binary when the path
+        suffix is one of ``BINARY_SUFFIXES``.
     """
     if not oracle.is_built:
         raise ValueError("cannot save an unbuilt oracle")
+    if binary is None:
+        binary = os.fspath(path).endswith(BINARY_SUFFIXES)
+    if binary:
+        from .store import pack_oracle
+        pack_oracle(oracle, path)
+        return
     if compiled is None:
         compiled = oracle.is_compiled
     tree = oracle.tree
     document: Dict[str, Any] = {
         "format": "repro-se-oracle",
-        "version": FORMAT_VERSION,
+        "version": JSON_FORMAT_VERSION,
         "epsilon": oracle.epsilon,
         "strategy": oracle.strategy,
         "method": oracle.method,
@@ -119,33 +158,20 @@ def save_oracle(oracle: SEOracle, path: PathLike,
         json.dump(document, handle)
 
 
-def load_oracle(path: PathLike, engine: GeodesicEngine,
-                strict: bool = True) -> SEOracle:
-    """Load an oracle saved by :func:`save_oracle`.
-
-    Parameters
-    ----------
-    path:
-        File produced by :func:`save_oracle`.
-    engine:
-        The workload the oracle was built for.  With ``strict`` the
-        stored fingerprint must match the engine's; pass
-        ``strict=False`` only when you know the workload is equivalent.
-    """
-    with open(path) as handle:
-        document = json.load(handle)
+def _json_version_guard(document: Dict[str, Any],
+                        source: str = "load_oracle") -> None:
+    """Reject non-oracle documents and unknown JSON schema versions."""
     if document.get("format") != "repro-se-oracle":
-        raise ValueError(f"{path}: not a serialized SE oracle")
-    if document.get("version") not in SUPPORTED_VERSIONS:
+        raise ValueError(f"{source}: not a serialized SE oracle")
+    version = document.get("version")
+    if version not in SUPPORTED_VERSIONS or version > JSON_FORMAT_VERSION:
         raise ValueError(
-            f"{path}: unsupported format version {document.get('version')}"
-        )
-    if strict and document["fingerprint"] != workload_fingerprint(engine):
-        raise ValueError(
-            f"{path}: oracle was built for a different workload "
-            "(terrain / POIs / Steiner density mismatch)"
+            f"{source}: unsupported JSON format version {version}"
         )
 
+
+def _document_tree(document: Dict[str, Any]) -> CompressedPartitionTree:
+    """Rebuild the compressed tree of a v1–v3 JSON document."""
     nodes = []
     for node_id, center, layer, radius, parent, origin in \
             document["tree"]["nodes"]:
@@ -156,13 +182,51 @@ def load_oracle(path: PathLike, engine: GeodesicEngine,
     for node in nodes:
         if node.parent is not None:
             nodes[node.parent].children.append(node.node_id)
-    tree = CompressedPartitionTree(
+    return CompressedPartitionTree(
         nodes=nodes,
         root_id=document["tree"]["root_id"],
         height=document["tree"]["height"],
         root_radius=document["tree"]["root_radius"],
     )
 
+
+def _is_binary_store(path: PathLike) -> bool:
+    with open(path, "rb") as handle:
+        return handle.read(4) == _ZIP_MAGIC
+
+
+def load_oracle(path: PathLike, engine: GeodesicEngine,
+                strict: bool = True) -> SEOracle:
+    """Load an oracle saved by :func:`save_oracle` (JSON or binary).
+
+    The format is sniffed from the file itself: a v4 binary store is
+    opened zero-copy (:func:`~repro.core.store.open_oracle`) and
+    rehydrated against the engine; anything else is parsed as a v1–v3
+    JSON document.
+
+    Parameters
+    ----------
+    path:
+        File produced by :func:`save_oracle`.
+    engine:
+        The workload the oracle was built for.  With ``strict`` the
+        stored fingerprint must match the engine's; pass
+        ``strict=False`` only when you know the workload is equivalent.
+    """
+    if _is_binary_store(path):
+        from .store import open_oracle
+        return open_oracle(path, mmap=True).to_oracle(engine,
+                                                      strict=strict)
+    with open(path) as handle:
+        document = json.load(handle)
+    _json_version_guard(document, source=str(path))
+    if strict and document["fingerprint"] != workload_fingerprint(engine):
+        raise ValueError(
+            f"{path}: oracle was built for a different workload "
+            "(terrain / POIs / Steiner density mismatch)"
+        )
+
+    tree = _document_tree(document)
     pairs = {(a, b): distance for a, b, distance in document["pairs"]}
     pair_set = NodePairSet(pairs=pairs, considered=len(pairs),
                            epsilon=document["epsilon"])

@@ -1,0 +1,488 @@
+"""Binary oracle store: mmap-friendly v4 container + zero-copy open.
+
+JSON persistence (:mod:`~repro.core.serialize`) is convenient but a
+serving process pays a full parse plus Python object reconstruction on
+every load — tens of milliseconds for a medium oracle, all of it
+avoidable.  This module is the build-once/serve-many half of the
+persistence story:
+
+* :func:`pack_oracle` writes **format version 4**: a standard
+  uncompressed ``.npz``-style zip whose members are flat NumPy
+  sections — the compressed-tree arrays, the node-pair key/distance
+  arrays, the perfect hash's frozen multiply-shift tables, the
+  compiled ancestor-chain matrix — plus one ``meta.json`` member
+  carrying the workload fingerprint and build metadata.  The file is
+  readable by plain ``numpy.load`` (it *is* an npz).
+* :func:`open_oracle` maps every section straight off disk
+  (``numpy.memmap``, read-only) and assembles a
+  :class:`~repro.core.compiled.CompiledOracle` around the mapped
+  tables — no JSON parse, no per-pair Python objects, no hash
+  construction.  Load cost is a few zip directory reads plus the
+  O(n·h) key-plane derivation; the O(#pairs) tables are never copied.
+* :func:`pack_document` converts a v1–v3 JSON document to v4 without
+  needing the terrain (the document is self-contained), so existing
+  oracle files upgrade losslessly: ``python -m repro pack``.
+
+On-disk layout (format version 4)
+---------------------------------
+``meta.json``
+    ``{format, version, epsilon, strategy, method, seed, fingerprint,
+    build {executor, jobs}, stats {height, pairs_stored,
+    total_seconds}, tree {root_id, height, root_radius}}``.
+``tree_table.npy``
+    int64 ``(num_nodes, 4)``: center, original layer, parent id
+    (``-1`` for the root), origin id — row index is the node id.
+``tree_radii.npy``
+    float64 ``(num_nodes,)`` node radii (0 at leaves).
+``pair_keys.npy`` / ``pair_distances.npy``
+    uint64 / float64 ``(num_pairs,)``: the node pair set as packed
+    ordered-pair keys (:func:`~repro.datastructures.perfect_hash.
+    pack_pair`) with their centre distances, in hash insertion order —
+    these double as the frozen hash's key/value columns.
+``hash_level1.npy`` … ``hash_slots.npy``
+    The perfect hash's frozen multiply-shift tables
+    (:meth:`~repro.datastructures.perfect_hash.PerfectHashMap.
+    frozen_arrays`): ``hash_level1`` is the ``(a, shift)`` pair,
+    ``hash_level2_a`` / ``hash_level2_shift`` / ``hash_level2_offset``
+    the per-bucket parameters, ``hash_slots`` the slot -> pair-index
+    table.
+``chains.npy``
+    int64 ``(num_pois, height+1)`` compiled ancestor-chain matrix
+    (:func:`~repro.core.compiled.chain_matrix`), ``-1``-padded.
+
+Every member is ZIP_STORED, so each array's bytes sit contiguously at
+a fixed file offset and :func:`open_oracle` can hand ``numpy.memmap``
+views to the query tables; the OS page cache then shares one physical
+copy across every serving process on the host.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+import zipfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..datastructures.perfect_hash import PerfectHashMap, unpack_pair
+from ..geodesic.engine import GeodesicEngine
+from .compiled import CompiledOracle, chain_matrix
+from .compressed_tree import CompressedPartitionTree, CompressedTreeNode
+from .node_pairs import NodePairSet
+from .oracle import SEOracle
+
+__all__ = ["pack_oracle", "pack_document", "open_oracle", "StoredOracle",
+           "STORE_VERSION"]
+
+PathLike = Union[str, os.PathLike]
+
+STORE_VERSION = 4
+_FORMAT_NAME = "repro-se-oracle"
+_META_MEMBER = "meta.json"
+
+_HASH_SECTIONS = {
+    "hash_level1": "level1",
+    "pair_keys": "keys",
+    "pair_distances": "values",
+    "hash_level2_a": "level2_a",
+    "hash_level2_shift": "level2_shift",
+    "hash_level2_offset": "level2_offset",
+    "hash_slots": "slots",
+}
+
+_REQUIRED_SECTIONS = ("tree_table", "tree_radii", "chains",
+                      *_HASH_SECTIONS)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def _write_store(path: PathLike, meta: Dict[str, Any],
+                 sections: Dict[str, np.ndarray]) -> None:
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        archive.writestr(_META_MEMBER,
+                         json.dumps(meta, sort_keys=True, indent=1))
+        for name, array in sections.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.ascontiguousarray(array), allow_pickle=False)
+            archive.writestr(name + ".npy", buffer.getvalue())
+
+
+def _tree_sections(tree: CompressedPartitionTree
+                   ) -> Dict[str, np.ndarray]:
+    table = np.empty((tree.num_nodes, 4), dtype=np.int64)
+    radii = np.empty(tree.num_nodes, dtype=np.float64)
+    for node in tree.nodes:
+        table[node.node_id] = (
+            node.center, node.layer,
+            -1 if node.parent is None else node.parent, node.origin_id)
+        radii[node.node_id] = node.radius
+    return {"tree_table": table, "tree_radii": radii}
+
+
+def _meta_document(*, epsilon: float, strategy: str, method: str,
+                   seed: int, fingerprint: str, build: Dict[str, Any],
+                   stats: Dict[str, Any],
+                   tree: CompressedPartitionTree) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT_NAME,
+        "version": STORE_VERSION,
+        "epsilon": epsilon,
+        "strategy": strategy,
+        "method": method,
+        "seed": seed,
+        "fingerprint": fingerprint,
+        "build": dict(build),
+        "stats": dict(stats),
+        "tree": {
+            "root_id": tree.root_id,
+            "height": tree.height,
+            "root_radius": tree.root_radius,
+        },
+    }
+
+
+def pack_oracle(oracle: SEOracle, path: PathLike) -> None:
+    """Write a built oracle as a format-v4 binary store.
+
+    Compiles the oracle (chain matrix + frozen hash tables) if that has
+    not happened yet — packing is the natural one-time cost point, so
+    an :func:`open_oracle` load never pays it.
+    """
+    if not oracle.is_built:
+        raise ValueError("cannot pack an unbuilt oracle")
+    from .serialize import workload_fingerprint
+    compiled = oracle.compiled()
+    sections = _tree_sections(oracle.tree)
+    sections["chains"] = compiled.chains
+    frozen = oracle.pair_hash.frozen_arrays()
+    for section, name in _HASH_SECTIONS.items():
+        sections[section] = frozen[name]
+    meta = _meta_document(
+        epsilon=oracle.epsilon, strategy=oracle.strategy,
+        method=oracle.method, seed=oracle.seed,
+        fingerprint=workload_fingerprint(oracle.engine),
+        build={"executor": oracle.stats.executor,
+               "jobs": oracle.stats.jobs},
+        stats={"height": oracle.stats.height,
+               "pairs_stored": oracle.stats.pairs_stored,
+               "total_seconds": oracle.stats.total_seconds},
+        tree=oracle.tree,
+    )
+    _write_store(path, meta, sections)
+
+
+def pack_document(document: Dict[str, Any], path: PathLike) -> None:
+    """Convert a parsed v1–v3 JSON document to a v4 store, losslessly.
+
+    The JSON document is self-contained (tree + pairs + metadata), so
+    no terrain engine is needed: the chain matrix is re-derived from
+    the tree and the hash tables from the pair list with the stored
+    seed — exactly what :func:`~repro.core.serialize.load_oracle`
+    followed by :func:`pack_oracle` would produce.
+    """
+    from .serialize import _document_tree, _json_version_guard
+    _json_version_guard(document, source="pack_document")
+    tree = _document_tree(document)
+    num_pois = len(tree.leaf_of_poi)
+    from ..datastructures.perfect_hash import pack_pair
+    entries = [(pack_pair(a, b), distance)
+               for a, b, distance in document["pairs"]]
+    pair_hash = PerfectHashMap(entries, seed=document["seed"])
+    sections = _tree_sections(tree)
+    sections["chains"] = chain_matrix(tree, num_pois)
+    frozen = pair_hash.frozen_arrays()
+    for section, name in _HASH_SECTIONS.items():
+        sections[section] = frozen[name]
+    stats = document.get("stats", {})
+    meta = _meta_document(
+        epsilon=document["epsilon"], strategy=document["strategy"],
+        method=document["method"], seed=document["seed"],
+        fingerprint=document["fingerprint"],
+        build=document.get("build", {"executor": "serial", "jobs": 1}),
+        stats={"height": stats.get("height", tree.height),
+               "pairs_stored": stats.get("pairs_stored", len(entries)),
+               "total_seconds": stats.get("total_seconds", 0.0)},
+        tree=tree,
+    )
+    _write_store(path, meta, sections)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def _mmap_member(path: PathLike, handle,
+                 info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one ZIP_STORED npy member in place.
+
+    A ZIP_STORED member's bytes sit verbatim at a fixed offset: skip
+    the local file header (30 bytes + name + extra, read from the
+    header itself — the central directory copy can differ), parse the
+    npy header, and map the payload.
+    """
+    handle.seek(info.header_offset)
+    local = handle.read(30)
+    name_length = int.from_bytes(local[26:28], "little")
+    extra_length = int.from_bytes(local[28:30], "little")
+    handle.seek(info.header_offset + 30 + name_length + extra_length)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:  # pragma: no cover - we only ever write 1.0/2.0 headers
+        raise ValueError(f"unsupported npy header version {version}")
+    return np.memmap(path, dtype=dtype, mode="r", offset=handle.tell(),
+                     shape=shape, order="F" if fortran else "C")
+
+
+def _read_meta_member(archive: zipfile.ZipFile,
+                      path: PathLike) -> Dict[str, Any]:
+    """Read + validate the meta member (format name and version)."""
+    try:
+        meta = json.loads(archive.read(_META_MEMBER))
+    except KeyError:
+        raise ValueError(
+            f"{path}: no {_META_MEMBER} member; not an oracle store"
+        ) from None
+    if meta.get("format") != _FORMAT_NAME:
+        raise ValueError(f"{path}: not a serialized SE oracle store")
+    if meta.get("version") != STORE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported store version {meta.get('version')}")
+    return meta
+
+
+def read_store(path: PathLike, mmap: bool = True
+               ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Raw access: the meta document plus every section array."""
+    sections: Dict[str, np.ndarray] = {}
+    with open(path, "rb") as handle:
+        with zipfile.ZipFile(handle) as archive:
+            meta = _read_meta_member(archive, path)
+            for info in archive.infolist():
+                if not info.filename.endswith(".npy"):
+                    continue
+                name = info.filename[:-4]
+                if mmap and info.compress_type == zipfile.ZIP_STORED:
+                    sections[name] = _mmap_member(path, handle, info)
+                else:
+                    with archive.open(info.filename) as member:
+                        sections[name] = np.lib.format.read_array(
+                            member, allow_pickle=False)
+    missing = [name for name in _REQUIRED_SECTIONS if name not in sections]
+    if missing:
+        raise ValueError(f"{path}: store is missing sections {missing}")
+    return meta, sections
+
+
+def read_store_meta(path: PathLike) -> Dict[str, Any]:
+    """Only the meta document — no array section is touched.
+
+    Validates format name *and* version, so a registration that
+    succeeds is a store :func:`open_oracle` can actually serve.
+    """
+    with zipfile.ZipFile(path) as archive:
+        return _read_meta_member(archive, path)
+
+
+class _MappedPairSet(NodePairSet):
+    """A :class:`NodePairSet` over the store's mapped key/distance
+    columns.
+
+    The per-pair Python dict is exactly the reconstruction cost the
+    store exists to avoid, and the rehydrated oracle's query path
+    never touches it (queries go through the frozen pair hash) — so
+    it materialises lazily, on the first access to ``pairs`` /
+    ``distance_of`` (e.g. ``covering_pair`` or a JSON re-save).
+    """
+
+    def __init__(self, keys: np.ndarray, distances: np.ndarray,
+                 epsilon: float):
+        # Deliberately skips the dataclass __init__: `pairs` is the
+        # lazy property below, `considered`/`epsilon` plain attributes.
+        self._keys = keys
+        self._distances = distances
+        self._pairs: Optional[Dict[Tuple[int, int], float]] = None
+        self.considered = int(keys.shape[0])
+        self.epsilon = epsilon
+
+    @property
+    def pairs(self) -> Dict[Tuple[int, int], float]:
+        if self._pairs is None:
+            self._pairs = {
+                unpack_pair(int(key)): float(distance)
+                for key, distance in zip(
+                    np.asarray(self._keys).tolist(),
+                    np.asarray(self._distances).tolist())
+            }
+        return self._pairs
+
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+
+@dataclass
+class StoredOracle:
+    """An opened v4 store: compiled query tables + build metadata.
+
+    The compiled tables are live immediately (queries need no engine);
+    :meth:`to_oracle` rehydrates a full :class:`~repro.core.oracle.
+    SEOracle` against a terrain engine when the scalar/tree API is
+    needed — e.g. for a binary -> JSON conversion.
+    """
+
+    path: str
+    epsilon: float
+    strategy: str
+    method: str
+    seed: int
+    fingerprint: str
+    build: Dict[str, Any]
+    stats: Dict[str, Any]
+    tree_meta: Dict[str, Any]
+    compiled: CompiledOracle
+    load_seconds: float
+    _sections: Dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+
+    @property
+    def num_pois(self) -> int:
+        return self.compiled.num_pois
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self._sections["pair_keys"].shape[0])
+
+    # Queries delegate to the compiled tables (bit-identical to the
+    # scalar SEOracle.query by the compiled oracle's contract).
+    def query(self, source: int, target: int) -> float:
+        return self.compiled.query(source, target)
+
+    def query_batch(self, sources, targets) -> np.ndarray:
+        return self.compiled.query_batch(sources, targets)
+
+    def query_matrix(self, pois=None) -> np.ndarray:
+        return self.compiled.query_matrix(pois)
+
+    def size_bytes(self) -> int:
+        """The store's on-disk footprint."""
+        return os.path.getsize(self.path)
+
+    def check_fingerprint(self, engine: GeodesicEngine) -> None:
+        """Raise unless the store was packed for ``engine``'s workload."""
+        from .serialize import workload_fingerprint
+        if self.fingerprint != workload_fingerprint(engine):
+            raise ValueError(
+                f"{self.path}: oracle was built for a different workload "
+                "(terrain / POIs / Steiner density mismatch)"
+            )
+
+    def tree(self) -> CompressedPartitionTree:
+        """Rebuild the compressed partition tree from the table section."""
+        table = np.asarray(self._sections["tree_table"])
+        radii = np.asarray(self._sections["tree_radii"])
+        nodes = []
+        for node_id in range(table.shape[0]):
+            center, layer, parent, origin = (int(v) for v in table[node_id])
+            nodes.append(CompressedTreeNode(
+                node_id=node_id, center=center, layer=layer,
+                radius=float(radii[node_id]),
+                parent=None if parent == -1 else parent,
+                origin_id=origin,
+            ))
+        for node in nodes:
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.node_id)
+        return CompressedPartitionTree(
+            nodes=nodes,
+            root_id=self.tree_meta["root_id"],
+            height=self.tree_meta["height"],
+            root_radius=self.tree_meta["root_radius"],
+        )
+
+    def to_oracle(self, engine: GeodesicEngine,
+                  strict: bool = True) -> SEOracle:
+        """Full :class:`SEOracle` over ``engine`` (tree + pairs + hash).
+
+        The pair hash is the store's frozen map, so batch queries keep
+        running off the mapped tables; the scalar hash structures and
+        the per-pair dict both materialise lazily, on first scalar
+        probe / ``pairs`` access — rehydration itself stays O(tree),
+        not O(#pairs).
+        """
+        if strict:
+            self.check_fingerprint(engine)
+        pair_set = _MappedPairSet(self._sections["pair_keys"],
+                                  self._sections["pair_distances"],
+                                  self.epsilon)
+        oracle = SEOracle(engine, self.epsilon, strategy=self.strategy,
+                          method=self.method, seed=self.seed)
+        oracle._tree = self.tree()
+        oracle._pair_set = pair_set
+        oracle._pair_hash = self.compiled.pair_hash
+        oracle._compiled = self.compiled
+        oracle._built = True
+        oracle.stats.height = self.stats.get("height", 0)
+        oracle.stats.pairs_stored = self.stats.get("pairs_stored",
+                                                   len(pair_set))
+        oracle.stats.total_seconds = self.stats.get("total_seconds", 0.0)
+        oracle.stats.executor = self.build.get("executor", "serial")
+        oracle.stats.jobs = self.build.get("jobs", 1)
+        return oracle
+
+
+def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
+                strict: bool = True, mmap: bool = True) -> StoredOracle:
+    """Open a v4 store with memory-mapped query tables.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`pack_oracle` / :func:`pack_document`.
+    engine:
+        Optional workload to validate against (``strict``).  Serving
+        processes that trust their terrain registry pass ``None`` and
+        skip the mesh hash entirely — the whole point of the store is
+        that queries never need the terrain.
+    strict:
+        With ``engine``: raise on a workload fingerprint mismatch.
+    mmap:
+        Map sections read-only straight off disk (default).  ``False``
+        reads copies instead — only useful when the file will be
+        replaced while open.
+    """
+    started = time.perf_counter()
+    meta, sections = read_store(path, mmap=mmap)
+    pair_hash = PerfectHashMap.from_frozen(
+        sections["pair_keys"], sections["pair_distances"],
+        sections["hash_level1"], sections["hash_level2_a"],
+        sections["hash_level2_shift"], sections["hash_level2_offset"],
+        sections["hash_slots"], seed=meta["seed"],
+    )
+    compiled = CompiledOracle(sections["chains"], pair_hash,
+                              meta["epsilon"])
+    stored = StoredOracle(
+        path=os.fspath(path),
+        epsilon=meta["epsilon"],
+        strategy=meta["strategy"],
+        method=meta["method"],
+        seed=meta["seed"],
+        fingerprint=meta["fingerprint"],
+        build=meta.get("build", {}),
+        stats=meta.get("stats", {}),
+        tree_meta=meta["tree"],
+        compiled=compiled,
+        load_seconds=0.0,
+        _sections=sections,
+    )
+    # Captured before the (optional) fingerprint check: load_seconds
+    # reports the open itself, not the cost of hashing the terrain.
+    stored.load_seconds = time.perf_counter() - started
+    if engine is not None and strict:
+        stored.check_fingerprint(engine)
+    return stored

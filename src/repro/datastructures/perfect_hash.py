@@ -137,6 +137,58 @@ class PerfectHashMap:
         self._a = 1
         self._b = 0
         self._frozen: Optional[_FrozenTables] = None
+        self._scalar_ready = True
+        self._frozen_first = False
+        if self._n:
+            self._build()
+
+    @classmethod
+    def from_frozen(cls, keys, values, level1: Sequence[int], level2_a,
+                    level2_shift, level2_offset, slots,
+                    seed: int = 0) -> "PerfectHashMap":
+        """Rehydrate a map from persisted frozen tables (zero-copy).
+
+        ``keys``/``values``/``level2_*``/``slots`` are the arrays of
+        :meth:`frozen_arrays` (possibly memory-mapped read-only) and
+        ``level1`` the ``(level1_a, level1_shift)`` pair.  Batch lookups
+        run straight off the supplied tables; the scalar FKS structures
+        are rebuilt lazily on first scalar access — with the same
+        ``seed`` and key order they come out identical to the original
+        construction's.
+        """
+        self = cls.__new__(cls)
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ValueError("keys and values must be aligned 1-D arrays")
+        self._keys = keys  # materialised to lists by _ensure_scalar
+        self._values = values
+        self._n = int(keys.shape[0])
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._buckets = []
+        self._a = 1
+        self._b = 0
+        self._frozen = _FrozenTables(
+            int(level1[0]), int(level1[1]),
+            keys=keys, values=values,
+            level2_a=np.asarray(level2_a, dtype=np.uint64),
+            level2_shift=np.asarray(level2_shift, dtype=np.uint64),
+            level2_offset=np.asarray(level2_offset, dtype=np.int64),
+            slots=np.asarray(slots, dtype=np.int64),
+        )
+        self._scalar_ready = False
+        self._frozen_first = True
+        return self
+
+    def _ensure_scalar(self) -> None:
+        """Build the scalar FKS structures of a frozen-first map."""
+        if self._scalar_ready:
+            return
+        self._keys = [int(key) for key in self._keys.tolist()]
+        self._values = [float(value) for value in self._values.tolist()]
+        self._rng = random.Random(self._seed)
+        self._scalar_ready = True
         if self._n:
             self._build()
 
@@ -188,6 +240,7 @@ class PerfectHashMap:
     def _locate(self, key: int) -> int:
         if self._n == 0 or key < 0:
             return -1
+        self._ensure_scalar()
         bucket = self._buckets[((self._a * key + self._b) % _PRIME) % self._n]
         if bucket is None:
             return -1
@@ -213,9 +266,11 @@ class PerfectHashMap:
         return self._n
 
     def __iter__(self) -> Iterator[int]:
+        self._ensure_scalar()
         return iter(self._keys)
 
     def items(self) -> Iterator[Tuple[int, Any]]:
+        self._ensure_scalar()
         return iter(zip(self._keys, self._values))
 
     # ------------------------------------------------------------------
@@ -345,11 +400,40 @@ class PerfectHashMap:
                           np.float64(default))
         return result.reshape(key_array.shape)
 
+    def frozen_arrays(self) -> Dict[str, np.ndarray]:
+        """The frozen tables as named flat arrays, for persistence.
+
+        Freezes first if needed.  ``level1`` packs the two level-one
+        scalars ``(a, shift)``; the remaining entries are the table
+        arrays exactly as :meth:`get_batch` probes them, so
+        :meth:`from_frozen` round-trips lookups bit-for-bit.
+        """
+        tables = self._freeze()
+        return {
+            "level1": np.array([int(tables.level1_a),
+                                int(tables.level1_shift)], dtype=np.uint64),
+            "keys": tables.keys,
+            "values": tables.values,
+            "level2_a": tables.level2_a,
+            "level2_shift": tables.level2_shift,
+            "level2_offset": tables.level2_offset,
+            "slots": tables.slots,
+        }
+
     # ------------------------------------------------------------------
     # size accounting (for the oracle's size model)
     # ------------------------------------------------------------------
     def slot_count(self) -> int:
-        """Total number of second-level slots (the FKS space bound)."""
+        """Total number of second-level slots (the FKS space bound).
+
+        A frozen-first map (:meth:`from_frozen`) reports the frozen
+        table's slot count — the comparable space bound of the
+        multiply-shift twin — *regardless* of whether the scalar FKS
+        structures have been rebuilt since, so size accounting never
+        drifts with access history.
+        """
+        if self._frozen_first:
+            return int(self._frozen.slots.shape[0])
         return sum(bucket.size for bucket in self._buckets if bucket is not None)
 
     def size_bytes(self, value_bytes: int = 8) -> int:

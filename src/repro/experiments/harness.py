@@ -139,6 +139,29 @@ def _se_factory(strategy: str, method: str):
         tick = time.perf_counter()
         oracle.compiled()
         extra["compile_seconds"] = time.perf_counter() - tick
+        # Serving-load cost: pack the built oracle to a binary store
+        # and time a zero-copy open — what a serving process pays
+        # before its first query (see core/store.py).
+        import os
+        import tempfile
+
+        from ..core.store import open_oracle, pack_oracle
+        handle, store_path = tempfile.mkstemp(suffix=".store")
+        os.close(handle)
+        try:
+            tick = time.perf_counter()
+            pack_oracle(oracle, store_path)
+            extra["pack_seconds"] = time.perf_counter() - tick
+            tick = time.perf_counter()
+            stored = open_oracle(store_path)
+            extra["load_seconds"] = time.perf_counter() - tick
+            extra["store_bytes"] = float(stored.size_bytes())
+            # Drop the mmap views before unlinking the temp file:
+            # unlink-while-mapped fails on Windows and pins the
+            # deleted blocks elsewhere.
+            del stored
+        finally:
+            os.unlink(store_path)
         # The naive variant keeps its O(h²) scalar scan for the scalar
         # timing; the compiled tables answer both variants identically.
         scalar = oracle.query_naive if method == "naive" else oracle.query

@@ -1,0 +1,11 @@
+"""Serving layer: one process, many terrains, batched queries.
+
+:class:`OracleService` registers packed oracle stores by terrain id,
+keeps an LRU-bounded set of compiled tables resident, routes batched
+distance and proximity queries per terrain, and exposes per-terrain
+hit/load/latency counters.
+"""
+
+from .service import OracleService, TerrainCounters
+
+__all__ = ["OracleService", "TerrainCounters"]

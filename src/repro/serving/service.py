@@ -1,0 +1,279 @@
+"""Multi-terrain oracle service over packed binary stores.
+
+The store (:mod:`~repro.core.store`) makes one oracle's load cost
+near-zero; this module turns that into a *serving* abstraction: a
+single :class:`OracleService` fronts any number of terrains, each
+registered as a packed store file, and dispatches batched distance /
+proximity queries to the right compiled tables.
+
+Design
+------
+* **Registration is free.**  ``register`` reads only the store's
+  ``meta.json`` member (a few hundred bytes) — no array section is
+  touched, so a service can register thousands of terrains at startup.
+* **Residency is LRU-bounded.**  Compiled tables materialise on first
+  query and at most ``max_resident`` terrains stay mapped; the least
+  recently used is evicted when the bound would be exceeded.  Because
+  sections are ``mmap``-ed read-only, eviction just drops references —
+  the OS page cache decides what actually leaves memory, and a re-load
+  of a warm store is microseconds.
+* **Counters per terrain.**  Every terrain tracks queries, batches,
+  resident-table hits, loads, evictions, and cumulative load/query
+  seconds (:class:`TerrainCounters`), so an operator can see which
+  terrains are hot and what the residency bound costs in re-loads.
+
+The service is deliberately transport-agnostic: the CLI wraps it in a
+line-oriented REPL (``python -m repro serve --repl``), and an HTTP or
+RPC front-end would wrap the same object the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.store import StoredOracle, open_oracle, read_store_meta
+from ..queries import (
+    k_nearest_neighbors,
+    range_query,
+    reverse_nearest_neighbors,
+)
+
+__all__ = ["OracleService", "TerrainCounters"]
+
+
+@dataclass
+class TerrainCounters:
+    """Per-terrain serving statistics."""
+
+    queries: int = 0          # individual distances answered
+    batches: int = 0          # query_batch / proximity dispatches
+    hits: int = 0             # dispatches served by resident tables
+    loads: int = 0            # store opens (cold + post-eviction)
+    evictions: int = 0        # times this terrain lost residency
+    load_seconds: float = 0.0
+    query_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        mean_query = (self.query_seconds / self.batches
+                      if self.batches else 0.0)
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "hits": self.hits,
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "load_seconds": self.load_seconds,
+            "query_seconds": self.query_seconds,
+            "mean_batch_seconds": mean_query,
+        }
+
+
+@dataclass
+class _Registration:
+    path: str
+    meta: Dict[str, Any]
+    counters: TerrainCounters = field(default_factory=TerrainCounters)
+
+
+class OracleService:
+    """Batched query dispatch across many registered terrain oracles.
+
+    Parameters
+    ----------
+    max_resident:
+        Upper bound on simultaneously resident (mapped + compiled)
+        terrains.  Must be >= 1; the least recently *used* terrain is
+        evicted first.
+
+    Example
+    -------
+    >>> service = OracleService(max_resident=2)
+    >>> service.register("alps", "alps.store")     # doctest: +SKIP
+    >>> service.query_batch("alps", [0, 3], [7, 9])  # doctest: +SKIP
+    """
+
+    def __init__(self, max_resident: int = 4):
+        if max_resident < 1:
+            raise ValueError("max_resident must be at least 1")
+        self.max_resident = max_resident
+        self._registry: Dict[str, _Registration] = {}
+        self._resident: "OrderedDict[str, StoredOracle]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(self, terrain_id: str, path: str) -> Dict[str, Any]:
+        """Register a packed store under ``terrain_id``; returns its meta.
+
+        Only the store's metadata member is read — the terrain becomes
+        resident lazily, on its first query.  Re-registering an id
+        replaces the path and drops any resident tables for it.
+        """
+        meta = read_store_meta(path)
+        previous = self._registry.get(terrain_id)
+        if terrain_id in self._resident:
+            del self._resident[terrain_id]
+            if previous is not None:
+                # The terrain lost residency: account it like any
+                # other eviction so loads/evictions reconcile.
+                previous.counters.evictions += 1
+        registration = _Registration(path=str(path), meta=meta)
+        if previous is not None:
+            registration.counters = previous.counters
+        self._registry[terrain_id] = registration
+        return meta
+
+    def unregister(self, terrain_id: str) -> None:
+        self._registration(terrain_id)
+        self._resident.pop(terrain_id, None)
+        del self._registry[terrain_id]
+
+    def terrains(self) -> List[str]:
+        """Registered terrain ids, registration order."""
+        return list(self._registry)
+
+    def describe(self, terrain_id: str) -> Dict[str, Any]:
+        """Store metadata of one terrain (no arrays touched)."""
+        registration = self._registration(terrain_id)
+        meta = dict(registration.meta)
+        meta["path"] = registration.path
+        meta["resident"] = terrain_id in self._resident
+        return meta
+
+    def _registration(self, terrain_id: str) -> _Registration:
+        try:
+            return self._registry[terrain_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown terrain id {terrain_id!r}; registered: "
+                f"{sorted(self._registry)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # residency
+    # ------------------------------------------------------------------
+    def oracle(self, terrain_id: str) -> StoredOracle:
+        """The resident :class:`StoredOracle`, loading (and possibly
+        evicting another terrain) as needed."""
+        registration = self._registration(terrain_id)
+        stored = self._resident.get(terrain_id)
+        if stored is not None:
+            self._resident.move_to_end(terrain_id)
+            registration.counters.hits += 1
+            return stored
+        stored = open_oracle(registration.path)
+        registration.counters.loads += 1
+        registration.counters.load_seconds += stored.load_seconds
+        while len(self._resident) >= self.max_resident:
+            evicted_id, _ = self._resident.popitem(last=False)
+            evicted = self._registry.get(evicted_id)
+            if evicted is not None:
+                evicted.counters.evictions += 1
+        self._resident[terrain_id] = stored
+        return stored
+
+    def resident_terrains(self) -> List[str]:
+        """Terrain ids currently resident, least recently used first."""
+        return list(self._resident)
+
+    def evict(self, terrain_id: str) -> bool:
+        """Drop a terrain's resident tables; True if it was resident."""
+        self._registration(terrain_id)
+        if self._resident.pop(terrain_id, None) is None:
+            return False
+        self._registry[terrain_id].counters.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, terrain_id: str, source: int, target: int) -> float:
+        """One ε-approximate distance on one terrain."""
+        return float(self.query_batch(terrain_id, [source], [target])[0])
+
+    def query_batch(self, terrain_id: str, sources: Sequence[int],
+                    targets: Sequence[int]) -> np.ndarray:
+        """Aligned batched distances on one terrain (float64 array)."""
+        stored = self.oracle(terrain_id)
+        counters = self._registry[terrain_id].counters
+        started = time.perf_counter()
+        result = stored.query_batch(sources, targets)
+        counters.query_seconds += time.perf_counter() - started
+        counters.batches += 1
+        counters.queries += int(result.shape[0])
+        return result
+
+    def query_matrix(self, terrain_id: str,
+                     pois: Optional[Sequence[int]] = None) -> np.ndarray:
+        """All-pairs matrix on one terrain (default: every POI)."""
+        stored = self.oracle(terrain_id)
+        counters = self._registry[terrain_id].counters
+        started = time.perf_counter()
+        result = stored.query_matrix(pois)
+        counters.query_seconds += time.perf_counter() - started
+        counters.batches += 1
+        counters.queries += int(result.size)
+        return result
+
+    # ------------------------------------------------------------------
+    # proximity queries
+    # ------------------------------------------------------------------
+    def k_nearest(self, terrain_id: str, source: int, k: int
+                  ) -> List[Tuple[int, float]]:
+        """kNN by geodesic distance on one terrain."""
+        stored = self.oracle(terrain_id)
+        return self._timed_proximity(
+            terrain_id, stored.num_pois,
+            lambda: k_nearest_neighbors(stored.compiled, source, k,
+                                        stored.num_pois))
+
+    def range_query(self, terrain_id: str, source: int, radius: float
+                    ) -> List[Tuple[int, float]]:
+        """All POIs within a geodesic radius on one terrain."""
+        stored = self.oracle(terrain_id)
+        return self._timed_proximity(
+            terrain_id, stored.num_pois,
+            lambda: range_query(stored.compiled, source, radius,
+                                stored.num_pois))
+
+    def reverse_nearest(self, terrain_id: str, source: int) -> List[int]:
+        """Monochromatic RNN on one terrain."""
+        stored = self.oracle(terrain_id)
+        return self._timed_proximity(
+            terrain_id, stored.num_pois * stored.num_pois,
+            lambda: reverse_nearest_neighbors(stored.compiled, source,
+                                              stored.num_pois))
+
+    def _timed_proximity(self, terrain_id: str, probes: int, run):
+        counters = self._registry[terrain_id].counters
+        started = time.perf_counter()
+        result = run()
+        counters.query_seconds += time.perf_counter() - started
+        counters.batches += 1
+        counters.queries += probes
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def counters(self, terrain_id: str) -> TerrainCounters:
+        return self._registration(terrain_id).counters
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-terrain serving statistics, keyed by terrain id."""
+        report = {}
+        for terrain_id, registration in self._registry.items():
+            entry = registration.counters.as_dict()
+            entry["resident"] = terrain_id in self._resident
+            entry["path"] = registration.path
+            entry["num_pois"] = None
+            stored = self._resident.get(terrain_id)
+            if stored is not None:
+                entry["num_pois"] = stored.num_pois
+            report[terrain_id] = entry
+        return report

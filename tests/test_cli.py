@@ -139,6 +139,185 @@ class TestBuildAndQuery:
         assert parallel["build"] == {"executor": "multiprocess", "jobs": 2}
 
 
+class TestPackAndStore:
+    @pytest.fixture()
+    def oracle_files(self, terrain_file, tmp_path, capsys):
+        json_path = tmp_path / "oracle.json"
+        store_path = tmp_path / "oracle.store"
+        assert main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.2", "--out", str(json_path)]) == 0
+        assert main(["pack", str(json_path), "--out",
+                     str(store_path)]) == 0
+        capsys.readouterr()
+        return json_path, store_path
+
+    def test_pack_prints_sizes_and_open_time(self, terrain_file,
+                                             tmp_path, capsys):
+        json_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--epsilon", "0.2", "--out", str(json_path)])
+        capsys.readouterr()
+        store_path = tmp_path / "oracle.store"
+        assert main(["pack", str(json_path), "--out",
+                     str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "v4" in out and "open:" in out
+        assert store_path.exists()
+
+    def test_query_store_scalar(self, terrain_file, oracle_files,
+                                capsys):
+        _, store_path = oracle_files
+        assert main(["query", str(terrain_file), str(store_path),
+                     "0", "7", "--pois", "10", "--store",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "opened" in out and "d(0, 7)" in out and "error" in out
+
+    def test_query_store_batch(self, terrain_file, oracle_files,
+                               capsys):
+        _, store_path = oracle_files
+        assert main(["query", str(terrain_file), str(store_path),
+                     "--pois", "10", "--store", "--batch", "0:7",
+                     "--random", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "d(0, 7)" in out and "q/s" in out
+
+    def test_store_answers_match_json(self, terrain_file, oracle_files,
+                                      capsys):
+        json_path, store_path = oracle_files
+        main(["query", str(terrain_file), str(json_path),
+              "0", "7", "--pois", "10"])
+        json_out = capsys.readouterr().out
+        main(["query", str(terrain_file), str(store_path),
+              "0", "7", "--pois", "10", "--store"])
+        store_out = capsys.readouterr().out
+        json_line = [line for line in json_out.splitlines()
+                     if line.startswith("d(0, 7)")][0]
+        store_line = [line for line in store_out.splitlines()
+                      if line.startswith("d(0, 7)")][0]
+        assert json_line.split("=")[1].split("[")[0].strip() \
+            == store_line.split("=")[1].split("[")[0].strip()
+
+    def test_query_store_wrong_workload_fails(self, terrain_file,
+                                              oracle_files):
+        _, store_path = oracle_files
+        with pytest.raises(ValueError):
+            main(["query", str(terrain_file), str(store_path),
+                  "0", "1", "--pois", "12", "--store"])
+
+    def test_build_direct_to_store(self, terrain_file, tmp_path,
+                                   capsys):
+        """build --out x.store writes the binary store directly."""
+        store_path = tmp_path / "direct.store"
+        assert main(["build", str(terrain_file), "--pois", "8",
+                     "--epsilon", "0.25", "--out",
+                     str(store_path)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(terrain_file), str(store_path),
+                     "0", "3", "--pois", "8", "--store"]) == 0
+
+
+class TestServe:
+    @pytest.fixture()
+    def stores(self, terrain_file, tmp_path, capsys):
+        paths = {}
+        for name, pois in (("north", 8), ("south", 10)):
+            json_path = tmp_path / f"{name}.json"
+            store_path = tmp_path / f"{name}.store"
+            main(["build", str(terrain_file), "--pois", str(pois),
+                  "--epsilon", "0.25", "--out", str(json_path)])
+            main(["pack", str(json_path), "--out", str(store_path)])
+            paths[name] = store_path
+        capsys.readouterr()
+        return paths
+
+    def test_malformed_registration(self, capsys):
+        assert main(["serve", "no-equals-sign"]) == 2
+
+    def test_missing_store_file(self, capsys):
+        assert main(["serve", "alps=/nonexistent/alps.store"]) == 2
+        assert "cannot register alps" in capsys.readouterr().err
+
+    def test_non_store_file_registration(self, terrain_file, tmp_path,
+                                         capsys):
+        json_path = tmp_path / "oracle.json"
+        main(["build", str(terrain_file), "--pois", "8",
+              "--epsilon", "0.25", "--out", str(json_path)])
+        capsys.readouterr()
+        assert main(["serve", f"alps={json_path}"]) == 2
+        assert "cannot register alps" in capsys.readouterr().err
+
+    def test_registration_summary(self, stores, capsys):
+        argv = ["serve"] + [f"{name}={path}"
+                            for name, path in stores.items()]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "registered north" in out and "registered south" in out
+        assert "2 terrains registered" in out
+
+    def test_repl_session(self, stores, capsys, monkeypatch):
+        import io
+        script = "\n".join([
+            "query north 0 1",
+            "batch south 0:1 2:3",
+            "knn north 0 2",
+            "range north 0 1e9",
+            "rnn south 0",
+            "terrains",
+            "stats",
+            "bogus command",
+            "query nowhere 0 1",
+            "quit",
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        argv = ["serve", "--repl", "--max-resident", "1"] \
+            + [f"{name}={path}" for name, path in stores.items()]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert "bye" in lines[-1]
+        assert any("north" in line and "resident" in line
+                   for line in lines)
+        assert '"evictions"' in captured.out  # stats JSON block
+        assert "unknown command" in captured.err
+        assert "unknown terrain id" in captured.err
+
+    def test_repl_survives_vanished_store(self, stores, capsys,
+                                          monkeypatch):
+        """A store deleted after registration (or after eviction)
+        fails that line only; other terrains keep serving."""
+        import io
+        import os
+        script = "\n".join([
+            "query south 0 1",   # loads south; bound 1
+            "query north 0 1",   # evicts south, loads north
+            "query south 0 1",   # south's file is gone -> error line
+            "query north 0 2",   # still serving
+            "quit",
+        ]) + "\n"
+        # Make the re-load of south fail: drop its file before start.
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        argv = ["serve", "--repl", "--max-resident", "1",
+                f"north={stores['north']}", f"south={stores['south']}"]
+
+        from repro.serving import OracleService
+        original = OracleService.oracle
+
+        def flaky(self, terrain_id):
+            if terrain_id == "south" \
+                    and "south" not in self.resident_terrains() \
+                    and self.counters("south").loads >= 1:
+                os.unlink(stores["south"])
+            return original(self, terrain_id)
+
+        monkeypatch.setattr(OracleService, "oracle", flaky)
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "bye" in captured.out
+        assert "No such file" in captured.err \
+            or "Errno" in captured.err
+
+
 class TestBench:
     def test_table2(self, capsys):
         assert main(["bench", "table2", "--scale", "tiny"]) == 0

@@ -125,6 +125,15 @@ class TestP2PHarness:
         assert se.extra["height"] >= 1
         assert se.extra["pairs"] > 0
 
+    def test_serving_load_cost_reported(self, results):
+        """SE methods report the pack -> open (binary store) costs."""
+        se = next(r for r in results if r.method == "SE(Random)")
+        assert se.extra["pack_seconds"] > 0
+        assert se.extra["load_seconds"] > 0
+        assert se.extra["store_bytes"] > 0
+        # Opening the packed store must be far cheaper than building.
+        assert se.extra["load_seconds"] < se.build_seconds
+
 
 class TestA2AHarness:
     def test_a2a_experiment_runs(self):

@@ -246,3 +246,112 @@ class TestRNNEdgeCases:
         oracle = MatrixOracle(matrix)
         assert reverse_nearest_neighbors(oracle, 0, 3) == [1, 2]
         assert reverse_nearest_neighbors_scalar(oracle, 0, 3) == [1, 2]
+
+
+class TestScalarOracleFallbackGolden:
+    """Golden coverage for the real *scalar* oracle backends.
+
+    DynamicSEOracle and KAlgo expose only ``query``; the public
+    proximity functions must route them through the probe-per-pair
+    fallback and still match the ``*_scalar`` executable spec exactly
+    — including a dynamic oracle whose overlay (freshly inserted POIs)
+    answers via memoised SSADs rather than the SE pair set.
+    """
+
+    @pytest.fixture(scope="class")
+    def dynamic_oracle(self):
+        from repro.core import DynamicSEOracle
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=15.0, seed=63)
+        pois = sample_uniform(mesh, 10, seed=64)
+        oracle = DynamicSEOracle(mesh, pois, epsilon=0.25,
+                                 rebuild_factor=2.0, seed=5).build()
+        # Two overlay POIs: proximity scans now mix base pairs (SE
+        # lookups) with overlay pairs (exact SSAD answers).
+        low, high = mesh.bounding_box()
+        span_x = float(high[0]) - float(low[0])
+        span_y = float(high[1]) - float(low[1])
+        for fx, fy in ((0.3, 0.6), (0.7, 0.2)):
+            oracle.insert(float(low[0]) + fx * span_x,
+                          float(low[1]) + fy * span_y)
+        assert oracle.overlay_size == 2
+        return oracle
+
+    @pytest.fixture(scope="class")
+    def kalgo_oracle(self):
+        from repro.baselines import KAlgo
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=15.0, seed=65)
+        pois = sample_uniform(mesh, 12, seed=66)
+        return KAlgo(mesh, pois, epsilon=0.5, points_per_edge=1).build()
+
+    def test_dynamic_oracle_has_no_batch_path(self, dynamic_oracle):
+        assert not hasattr(dynamic_oracle, "query_batch")
+
+    def test_dynamic_knn_golden(self, dynamic_oracle):
+        n = dynamic_oracle.num_active
+        for source in range(n):
+            for k in (1, 3, n + 2):
+                assert k_nearest_neighbors(dynamic_oracle, source, k, n) \
+                    == k_nearest_neighbors_scalar(dynamic_oracle,
+                                                  source, k, n)
+
+    def test_dynamic_range_golden(self, dynamic_oracle):
+        n = dynamic_oracle.num_active
+        radius = dynamic_oracle.query(0, 1)
+        for source in range(n):
+            assert range_query(dynamic_oracle, source, radius, n) \
+                == range_query_scalar(dynamic_oracle, source, radius, n)
+
+    def test_dynamic_rnn_golden(self, dynamic_oracle):
+        n = dynamic_oracle.num_active
+        for source in range(n):
+            assert reverse_nearest_neighbors(dynamic_oracle, source, n) \
+                == reverse_nearest_neighbors_scalar(dynamic_oracle,
+                                                    source, n)
+
+    def test_dynamic_knn_includes_overlay_pois(self, dynamic_oracle):
+        """An inserted POI can appear as a neighbour of a base POI."""
+        n = dynamic_oracle.num_active
+        overlay_ids = {10, 11}  # external ids of the two inserts
+        seen = set()
+        for source in range(10):
+            seen |= {poi for poi, _ in
+                     k_nearest_neighbors(dynamic_oracle, source,
+                                         n - 1, n)}
+        assert overlay_ids <= seen
+
+    def test_kalgo_knn_golden(self, kalgo_oracle):
+        n = kalgo_oracle.engine.num_pois
+        for source in range(n):
+            for k in (1, 4, n + 1):
+                assert k_nearest_neighbors(kalgo_oracle, source, k, n) \
+                    == k_nearest_neighbors_scalar(kalgo_oracle,
+                                                  source, k, n)
+
+    def test_kalgo_range_golden(self, kalgo_oracle):
+        n = kalgo_oracle.engine.num_pois
+        radius = kalgo_oracle.query(0, 1) * 1.5
+        for source in range(n):
+            assert range_query(kalgo_oracle, source, radius, n) \
+                == range_query_scalar(kalgo_oracle, source, radius, n)
+
+    def test_kalgo_rnn_golden(self, kalgo_oracle):
+        n = kalgo_oracle.engine.num_pois
+        for source in range(n):
+            assert reverse_nearest_neighbors(kalgo_oracle, source, n) \
+                == reverse_nearest_neighbors_scalar(kalgo_oracle,
+                                                    source, n)
+
+    def test_kalgo_matches_exact_backend(self, kalgo_oracle):
+        """K-Algo's searches are exact on its metric graph, so its
+        proximity results equal a full-APSP backend over the same
+        graph — cross-validating the scalar route end to end."""
+        engine = kalgo_oracle.engine
+        n = engine.num_pois
+        exact = FullAPSPBaseline(engine).build()
+        for source in range(n):
+            assert k_nearest_neighbors(kalgo_oracle, source, 3, n) \
+                == k_nearest_neighbors(exact, source, 3, n)
+            assert reverse_nearest_neighbors(kalgo_oracle, source, n) \
+                == reverse_nearest_neighbors(exact, source, n)

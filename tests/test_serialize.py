@@ -118,12 +118,12 @@ class TestParallelBuildRoundTrip:
                     == built.query(source, target)
 
     def test_build_metadata_recorded(self, built, workload, tmp_path):
-        from repro.core.serialize import FORMAT_VERSION
+        from repro.core.serialize import JSON_FORMAT_VERSION
         parallel = SEOracle(workload, epsilon=0.2, seed=4, jobs=2).build()
         path = tmp_path / "parallel.json"
         save_oracle(parallel, path)
         document = json.loads(path.read_text())
-        assert document["version"] == FORMAT_VERSION == 3
+        assert document["version"] == JSON_FORMAT_VERSION == 3
         assert document["build"] == {"executor": "multiprocess", "jobs": 2}
         loaded = load_oracle(path, workload)
         assert loaded.stats.executor == "multiprocess"
@@ -235,14 +235,97 @@ class TestVersion2Fixture:
                                                   int(targets[index]))
 
     def test_resave_upgrades_to_current_format(self, workload, tmp_path):
-        from repro.core.serialize import FORMAT_VERSION
+        from repro.core.serialize import JSON_FORMAT_VERSION
         loaded = load_oracle(self.FIXTURE, workload, strict=False)
         loaded.compiled()
         path = tmp_path / "upgraded.json"
         save_oracle(loaded, path)
         document = json.loads(path.read_text())
-        assert document["version"] == FORMAT_VERSION == 3
+        assert document["version"] == JSON_FORMAT_VERSION == 3
         assert "compiled" in document
+
+
+class TestVersion3Fixture:
+    """The checked-in v3 document (with compiled section) still loads
+    straight into the batched path on the current code."""
+
+    FIXTURE = pathlib.Path(__file__).parent / "data" / "oracle_v3.json"
+
+    def test_fixture_is_version_3_with_compiled_section(self):
+        document = json.loads(self.FIXTURE.read_text())
+        assert document["version"] == 3
+        assert "compiled" in document
+
+    def test_loads_without_recompiling(self, workload):
+        loaded = load_oracle(self.FIXTURE, workload, strict=False)
+        assert loaded.is_compiled  # chains came from the document
+        assert loaded.query_batch([0], [1])[0] == loaded.query(0, 1)
+
+
+class TestCrossVersionMatrix:
+    """v1/v2/v3/v4 files of the *same* workload all load and answer a
+    golden query set identically."""
+
+    V2 = pathlib.Path(__file__).parent / "data" / "oracle_v2.json"
+    V3 = pathlib.Path(__file__).parent / "data" / "oracle_v3.json"
+
+    @pytest.fixture(scope="class")
+    def version_files(self, tmp_path_factory):
+        """One file per format version, derived from the fixtures."""
+        tmp = tmp_path_factory.mktemp("versions")
+        document = json.loads(self.V3.read_text())
+        v1 = dict(document)
+        v1["version"] = 1
+        v1.pop("build", None)
+        v1.pop("compiled", None)
+        v1_path = tmp / "oracle_v1.json"
+        v1_path.write_text(json.dumps(v1))
+        v4_path = tmp / "oracle_v4.store"
+        from repro.core import pack_document
+        pack_document(document, v4_path)
+        return {1: v1_path, 2: self.V2, 3: self.V3, 4: v4_path}
+
+    def test_all_versions_answer_identically(self, workload,
+                                             version_files):
+        from repro.experiments.harness import generate_query_pairs
+        golden_pairs = generate_query_pairs(workload.num_pois, 60,
+                                            seed=17)
+        golden_pairs += [(poi, poi) for poi in range(workload.num_pois)]
+        answers = {}
+        for version, path in version_files.items():
+            loaded = load_oracle(path, workload, strict=False)
+            answers[version] = [loaded.query(source, target)
+                                for source, target in golden_pairs]
+        for version in (2, 3, 4):
+            assert answers[version] == answers[1], (
+                f"v{version} answers diverge from v1"
+            )
+
+    def test_all_versions_batch_identically(self, workload,
+                                            version_files):
+        import numpy as np
+        n = workload.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        matrices = {
+            version: load_oracle(path, workload,
+                                 strict=False).query_batch(sources,
+                                                           targets)
+            for version, path in version_files.items()
+        }
+        for version in (2, 3, 4):
+            assert (matrices[version] == matrices[1]).all()
+
+    def test_v4_reports_upgraded_metadata(self, version_files):
+        from repro.core.store import read_store_meta
+        meta = read_store_meta(version_files[4])
+        document = json.loads(self.V3.read_text())
+        assert meta["version"] == 4
+        assert meta["epsilon"] == document["epsilon"]
+        assert meta["seed"] == document["seed"]
+        assert meta["fingerprint"] == document["fingerprint"]
+        assert meta["stats"]["pairs_stored"] == len(document["pairs"])
 
 
 class TestFingerprint:

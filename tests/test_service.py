@@ -1,0 +1,177 @@
+"""Tests for the multi-terrain serving layer (OracleService)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SEOracle, pack_oracle
+from repro.geodesic import GeodesicEngine
+from repro.queries import (
+    k_nearest_neighbors,
+    range_query,
+    reverse_nearest_neighbors,
+)
+from repro.serving import OracleService
+from repro.terrain import make_terrain, sample_uniform
+
+
+def _build(seed: int, pois: int = 12, epsilon: float = 0.3) -> SEOracle:
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=seed)
+    poi_set = sample_uniform(mesh, pois, seed=seed + 1)
+    engine = GeodesicEngine(mesh, poi_set, points_per_edge=1)
+    return SEOracle(engine, epsilon, seed=seed).build()
+
+
+@pytest.fixture(scope="module")
+def terrains(tmp_path_factory):
+    """Three packed terrains with their in-memory reference oracles."""
+    tmp = tmp_path_factory.mktemp("terrains")
+    result = {}
+    for index, name in enumerate(("alps", "andes", "atlas")):
+        oracle = _build(seed=41 + index, pois=10 + 2 * index)
+        path = tmp / f"{name}.store"
+        pack_oracle(oracle, path)
+        result[name] = (path, oracle)
+    return result
+
+
+@pytest.fixture()
+def service(terrains):
+    service = OracleService(max_resident=2)
+    for name, (path, _) in terrains.items():
+        service.register(name, str(path))
+    return service
+
+
+class TestRegistry:
+    def test_register_returns_meta(self, terrains):
+        service = OracleService()
+        path, oracle = terrains["alps"]
+        meta = service.register("alps", str(path))
+        assert meta["epsilon"] == oracle.epsilon
+        assert service.terrains() == ["alps"]
+
+    def test_register_does_not_load(self, service):
+        assert service.resident_terrains() == []
+
+    def test_unknown_terrain(self, service):
+        with pytest.raises(KeyError):
+            service.query("everest", 0, 1)
+        with pytest.raises(KeyError):
+            service.counters("everest")
+
+    def test_describe(self, service, terrains):
+        info = service.describe("andes")
+        assert info["resident"] is False
+        assert info["path"] == str(terrains["andes"][0])
+
+    def test_unregister(self, service):
+        service.unregister("alps")
+        assert "alps" not in service.terrains()
+        with pytest.raises(KeyError):
+            service.query("alps", 0, 1)
+
+    def test_reregister_drops_residency(self, service, terrains):
+        service.query("alps", 0, 1)
+        assert "alps" in service.resident_terrains()
+        service.register("alps", str(terrains["alps"][0]))
+        assert "alps" not in service.resident_terrains()
+        # counters survive re-registration; the dropped residency is
+        # accounted as an eviction
+        assert service.counters("alps").queries == 1
+        assert service.counters("alps").evictions == 1
+
+    def test_max_resident_validation(self):
+        with pytest.raises(ValueError):
+            OracleService(max_resident=0)
+
+
+class TestRouting:
+    def test_queries_match_source_oracles(self, service, terrains):
+        for name, (_, oracle) in terrains.items():
+            n = oracle.engine.num_pois
+            for source in range(0, n, 3):
+                for target in range(n):
+                    assert service.query(name, source, target) \
+                        == oracle.query(source, target)
+
+    def test_batch_matches_source_oracle(self, service, terrains):
+        _, oracle = terrains["andes"]
+        n = oracle.engine.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        assert (service.query_batch("andes", sources, targets)
+                == oracle.query_batch(sources, targets)).all()
+
+    def test_matrix_matches_source_oracle(self, service, terrains):
+        _, oracle = terrains["atlas"]
+        assert (service.query_matrix("atlas")
+                == oracle.query_matrix()).all()
+
+    def test_proximity_matches_direct_calls(self, service, terrains):
+        _, oracle = terrains["alps"]
+        n = oracle.engine.num_pois
+        compiled = oracle.compiled()
+        radius = oracle.query(0, 3)
+        for source in range(n):
+            assert service.k_nearest("alps", source, 3) \
+                == k_nearest_neighbors(compiled, source, 3, n)
+            assert service.range_query("alps", source, radius) \
+                == range_query(compiled, source, radius, n)
+            assert service.reverse_nearest("alps", source) \
+                == reverse_nearest_neighbors(compiled, source, n)
+
+
+class TestResidency:
+    def test_lru_eviction(self, service):
+        service.query("alps", 0, 1)
+        service.query("andes", 0, 1)
+        assert service.resident_terrains() == ["alps", "andes"]
+        service.query("atlas", 0, 1)  # bound is 2: alps evicted
+        assert service.resident_terrains() == ["andes", "atlas"]
+        assert service.counters("alps").evictions == 1
+
+    def test_recent_use_protects_from_eviction(self, service):
+        service.query("alps", 0, 1)
+        service.query("andes", 0, 1)
+        service.query("alps", 0, 2)  # alps now most recent
+        service.query("atlas", 0, 1)  # andes evicted, not alps
+        assert set(service.resident_terrains()) == {"alps", "atlas"}
+
+    def test_reload_after_eviction_counts_load(self, service):
+        service.query("alps", 0, 1)
+        service.query("andes", 0, 1)
+        service.query("atlas", 0, 1)
+        service.query("alps", 0, 1)  # cold again
+        counters = service.counters("alps")
+        assert counters.loads == 2
+        assert counters.load_seconds > 0.0
+
+    def test_explicit_evict(self, service):
+        service.query("alps", 0, 1)
+        assert service.evict("alps") is True
+        assert service.evict("alps") is False
+        assert service.resident_terrains() == []
+
+
+class TestCounters:
+    def test_query_and_batch_counts(self, service):
+        service.query("alps", 0, 1)
+        service.query_batch("alps", [0, 1, 2], [3, 4, 5])
+        counters = service.counters("alps")
+        assert counters.queries == 4
+        assert counters.batches == 2
+        assert counters.loads == 1
+        assert counters.hits == 1  # second dispatch reused the tables
+        assert counters.query_seconds > 0.0
+
+    def test_stats_report(self, service):
+        service.query("andes", 0, 1)
+        stats = service.stats()
+        assert set(stats) == {"alps", "andes", "atlas"}
+        assert stats["andes"]["resident"] is True
+        assert stats["andes"]["queries"] == 1
+        assert stats["andes"]["num_pois"] is not None
+        assert stats["alps"]["resident"] is False
+        assert stats["alps"]["mean_batch_seconds"] == 0.0

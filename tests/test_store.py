@@ -1,0 +1,263 @@
+"""Tests for the v4 binary oracle store (pack / open / convert)."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SEOracle,
+    load_oracle,
+    open_oracle,
+    pack_document,
+    pack_oracle,
+    save_oracle,
+)
+from repro.core.store import STORE_VERSION, read_store, read_store_meta
+from repro.geodesic import GeodesicEngine
+from repro.terrain import make_terrain, sample_uniform
+
+
+@pytest.fixture(scope="module")
+def workload():
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                       relief=15.0, seed=83)
+    pois = sample_uniform(mesh, 15, seed=84)
+    return GeodesicEngine(mesh, pois, points_per_edge=1)
+
+
+@pytest.fixture(scope="module")
+def built(workload):
+    return SEOracle(workload, epsilon=0.25, seed=6).build()
+
+
+@pytest.fixture(scope="module")
+def store_path(built, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "oracle.store"
+    pack_oracle(built, path)
+    return path
+
+
+class TestPack:
+    def test_unbuilt_oracle_rejected(self, workload, tmp_path):
+        with pytest.raises(ValueError):
+            pack_oracle(SEOracle(workload, epsilon=0.25), tmp_path / "o")
+
+    def test_file_is_a_plain_npz(self, store_path):
+        """The store is a standard uncompressed zip numpy can read."""
+        with np.load(store_path) as archive:
+            names = set(archive.files)
+            assert {"meta.json", "chains", "pair_keys",
+                    "pair_distances", "tree_table", "tree_radii",
+                    "hash_slots"} <= names
+        with zipfile.ZipFile(store_path) as archive:
+            for info in archive.infolist():
+                assert info.compress_type == zipfile.ZIP_STORED
+
+    def test_meta_document(self, store_path, built, workload):
+        from repro.core import workload_fingerprint
+        meta = read_store_meta(store_path)
+        assert meta["version"] == STORE_VERSION == 4
+        assert meta["epsilon"] == built.epsilon
+        assert meta["fingerprint"] == workload_fingerprint(workload)
+        assert meta["stats"]["pairs_stored"] == built.num_pairs
+        assert meta["tree"]["height"] == built.height
+
+    def test_save_oracle_suffix_routing(self, built, workload, tmp_path):
+        """save_oracle picks the binary store for .store paths."""
+        path = tmp_path / "oracle.store"
+        save_oracle(built, path)
+        assert read_store_meta(path)["version"] == 4
+        loaded = load_oracle(path, workload)
+        assert loaded.query(0, 1) == built.query(0, 1)
+
+
+class TestOpen:
+    def test_sections_are_memory_mapped(self, store_path):
+        meta, sections = read_store(store_path)
+        for name in ("chains", "pair_keys", "pair_distances",
+                     "hash_slots"):
+            assert isinstance(sections[name], np.memmap), name
+            assert not sections[name].flags.writeable
+
+    def test_mmap_false_reads_copies(self, store_path):
+        _, sections = read_store(store_path, mmap=False)
+        assert not isinstance(sections["chains"], np.memmap)
+
+    def test_open_query_bit_identical(self, store_path, built, workload):
+        stored = open_oracle(store_path)
+        n = workload.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        batched = stored.query_batch(sources, targets)
+        for index in range(sources.size):
+            assert batched[index] == built.query(int(sources[index]),
+                                                 int(targets[index]))
+
+    def test_scalar_query_delegates(self, store_path, built):
+        stored = open_oracle(store_path)
+        assert stored.query(0, 7) == built.query(0, 7)
+        assert stored.query(3, 3) == 0.0
+
+    def test_query_matrix(self, store_path, built):
+        stored = open_oracle(store_path)
+        matrix = stored.query_matrix()
+        assert matrix.shape == (stored.num_pois, stored.num_pois)
+        assert (np.diag(matrix) == 0.0).all()
+
+    def test_fingerprint_check(self, store_path, workload):
+        stored = open_oracle(store_path, engine=workload)  # passes
+        other_mesh = make_terrain(grid_exponent=3,
+                                  extent=(100.0, 100.0),
+                                  relief=15.0, seed=999)
+        other = GeodesicEngine(other_mesh,
+                               sample_uniform(other_mesh, 15, seed=1),
+                               points_per_edge=1)
+        with pytest.raises(ValueError):
+            open_oracle(store_path, engine=other)
+        with pytest.raises(ValueError):
+            stored.check_fingerprint(other)
+
+    def test_rejects_non_store_files(self, tmp_path, workload, built):
+        json_path = tmp_path / "oracle.json"
+        save_oracle(built, json_path, binary=False)
+        with pytest.raises((ValueError, zipfile.BadZipFile)):
+            open_oracle(json_path)
+
+    def test_rejects_foreign_zip(self, tmp_path):
+        path = tmp_path / "foreign.zip"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("readme.txt", "hello")
+        with pytest.raises(ValueError):
+            open_oracle(path)
+
+    def test_meta_read_rejects_future_version(self, store_path,
+                                              tmp_path):
+        """read_store_meta fails fast on a version open_oracle cannot
+        serve — a registration that succeeds must be servable."""
+        future = tmp_path / "future.store"
+        with zipfile.ZipFile(store_path) as source, \
+                zipfile.ZipFile(future, "w",
+                                zipfile.ZIP_STORED) as target:
+            for info in source.infolist():
+                payload = source.read(info.filename)
+                if info.filename == "meta.json":
+                    meta = json.loads(payload)
+                    meta["version"] = 5
+                    payload = json.dumps(meta).encode()
+                target.writestr(info.filename, payload)
+        with pytest.raises(ValueError, match="version"):
+            read_store_meta(future)
+        with pytest.raises(ValueError, match="version"):
+            open_oracle(future)
+
+    def test_load_seconds_recorded(self, store_path):
+        stored = open_oracle(store_path)
+        assert stored.load_seconds > 0.0
+
+
+class TestRehydration:
+    def test_to_oracle_full_api(self, store_path, built, workload):
+        full = open_oracle(store_path).to_oracle(workload)
+        assert full.is_built and full.is_compiled
+        assert full.height == built.height
+        assert full.num_pairs == built.num_pairs
+        full.tree.check_structure(workload.num_pois)
+        n = workload.num_pois
+        for source in range(n):
+            for target in range(n):
+                assert full.query(source, target) \
+                    == built.query(source, target)
+
+    def test_to_oracle_covering_pair(self, store_path, built, workload):
+        full = open_oracle(store_path).to_oracle(workload)
+        assert full.covering_pair(0, 7) == built.covering_pair(0, 7)
+
+    def test_pair_dict_materialises_lazily(self, store_path, built,
+                                           workload):
+        """Rehydration must not pay the O(#pairs) dict build; batched
+        and scalar queries never touch it."""
+        full = open_oracle(store_path).to_oracle(workload)
+        assert full._pair_set._pairs is None
+        full.query(0, 7)
+        full.query_batch([0, 1], [2, 3])
+        assert full._pair_set._pairs is None
+        assert len(full.pair_set) == built.num_pairs  # len stays lazy
+        assert full._pair_set._pairs is None
+        assert full.pair_set.pairs == built.pair_set.pairs  # now built
+        assert full._pair_set._pairs is not None
+
+    def test_load_oracle_sniffs_binary(self, store_path, workload,
+                                       built):
+        loaded = load_oracle(store_path, workload)
+        assert loaded.query(1, 9) == built.query(1, 9)
+        assert loaded.stats.pairs_stored == built.num_pairs
+
+    def test_stats_and_build_metadata_survive(self, store_path,
+                                              workload, built):
+        full = open_oracle(store_path).to_oracle(workload)
+        assert full.stats.height == built.stats.height
+        assert full.stats.executor == built.stats.executor
+        assert full.stats.jobs == built.stats.jobs
+
+
+class TestDocumentConversion:
+    def test_json_to_binary_lossless(self, built, workload, tmp_path):
+        json_path = tmp_path / "oracle.json"
+        save_oracle(built, json_path, binary=False)
+        document = json.loads(json_path.read_text())
+        store = tmp_path / "oracle.store"
+        pack_document(document, store)
+        stored = open_oracle(store, engine=workload)
+        n = workload.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        batched = stored.query_batch(np.repeat(grid, n), np.tile(grid, n))
+        expected = built.query_batch(np.repeat(grid, n), np.tile(grid, n))
+        assert (batched == expected).all()
+
+    def test_v1_document_upgrades(self, built, workload, tmp_path):
+        json_path = tmp_path / "oracle.json"
+        save_oracle(built, json_path, binary=False)
+        document = json.loads(json_path.read_text())
+        document["version"] = 1
+        document.pop("build", None)
+        document.pop("compiled", None)
+        store = tmp_path / "v1.store"
+        pack_document(document, store)
+        stored = open_oracle(store)
+        assert stored.query(0, 5) == built.query(0, 5)
+        assert stored.build == {"executor": "serial", "jobs": 1}
+
+    def test_bad_document_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            pack_document({"format": "nope"}, tmp_path / "x.store")
+        with pytest.raises(ValueError):
+            pack_document({"format": "repro-se-oracle", "version": 99},
+                          tmp_path / "y.store")
+
+
+class TestFrozenHashPersistence:
+    """The persisted frozen tables answer like the original map —
+    batch immediately, scalar after the lazy FKS rebuild."""
+
+    def test_batch_lookup_identical(self, store_path, built):
+        stored = open_oracle(store_path)
+        original = built.pair_hash
+        keys = np.array(list(original), dtype=np.uint64)
+        restored = stored.compiled.pair_hash
+        assert (restored.get_batch(keys)
+                == original.get_batch(keys)).all()
+        missing = np.array([1, (1 << 40) + 7], dtype=np.uint64)
+        assert np.isnan(restored.get_batch(missing)).all()
+
+    def test_scalar_lookup_lazy_rebuild(self, store_path, built):
+        stored = open_oracle(store_path)
+        restored = stored.compiled.pair_hash
+        assert not restored._scalar_ready
+        for key, value in built.pair_hash.items():
+            assert restored[key] == value
+        assert restored._scalar_ready
+        assert 1 not in restored
+        assert len(restored) == len(built.pair_hash)
