@@ -52,6 +52,20 @@ class FullAPSPBaseline:
     def is_built(self) -> bool:
         return self._matrix is not None
 
+    @property
+    def num_pois(self) -> int:
+        return self._engine.num_pois
+
+    @property
+    def supports_updates(self) -> bool:
+        """``DistanceIndex`` flag: the matrix is rebuilt, not patched."""
+        return False
+
+    @property
+    def is_compiled(self) -> bool:
+        """Batches are fancy-indexed gathers — a compiled table."""
+        return True
+
     def size_bytes(self) -> int:
         if self._matrix is None:
             raise RuntimeError("baseline not built; call build() first")

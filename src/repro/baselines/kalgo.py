@@ -14,8 +14,12 @@ an early-exit (optionally bidirectional) Dijkstra.  ``size_bytes`` is 0
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import math
+from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..core.index import DistanceIndexMixin, aligned_id_arrays
 from ..geodesic.dijkstra import bidirectional_distance
 from ..geodesic.engine import GeodesicEngine
 from ..terrain.mesh import TriangleMesh
@@ -25,7 +29,7 @@ from .sp_oracle import steiner_density_for_epsilon
 __all__ = ["KAlgo"]
 
 
-class KAlgo:
+class KAlgo(DistanceIndexMixin):
     """On-the-fly ε-approximate geodesic distances (no oracle).
 
     Parameters
@@ -57,6 +61,14 @@ class KAlgo:
     def engine(self) -> GeodesicEngine:
         return self._engine
 
+    @property
+    def num_pois(self) -> int:
+        return self._engine.num_pois
+
+    # supports_updates / is_compiled / query_matrix come from
+    # DistanceIndexMixin: no index exists to update, and every query
+    # is an on-the-fly graph search — never compiled.
+
     def size_bytes(self) -> int:
         """K-Algo stores no index."""
         return 0
@@ -80,6 +92,41 @@ class KAlgo:
     def query_many(self, pairs) -> list:
         """Batched P2P queries (grouped multi-target searches)."""
         return self._engine.query_many(pairs)
+
+    def query_batch(self, sources: Sequence[int],
+                    targets: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`query` over aligned id arrays (float64).
+
+        Same ``DistanceIndex`` surface as the compiled oracles; the
+        work is still per-query graph searches, grouped so each
+        distinct source runs one multi-target search.  Grouping keeps
+        the search *direction* of every pair (no symmetric
+        canonicalisation — float path sums accumulate per direction),
+        so answers are bit-identical to a scalar :meth:`query` loop.
+        """
+        source_ids, target_ids = aligned_id_arrays(sources, targets)
+        if self._bidirectional:
+            # The bidirectional meeting rule is inherently per-pair.
+            return np.array([self.query(int(a), int(b))
+                             for a, b in zip(source_ids, target_ids)],
+                            dtype=np.float64)
+        engine = self._engine
+        by_source = {}
+        for a, b in zip(source_ids.tolist(), target_ids.tolist()):
+            if a != b:
+                by_source.setdefault(a, set()).add(b)
+        answers = {}
+        for a, poi_bs in by_source.items():
+            node_of = {engine.poi_node(b): b for b in poi_bs}
+            result = engine.distances_from_node(engine.poi_node(a),
+                                                targets=list(node_of))
+            distances = result.distances
+            for node, b in node_of.items():
+                answers[(a, b)] = distances.get(node, math.inf)
+        return np.array([0.0 if a == b else answers[(a, b)]
+                         for a, b in zip(source_ids.tolist(),
+                                         target_ids.tolist())],
+                        dtype=np.float64)
 
     def query_xy(self, source_xy: Tuple[float, float],
                  target_xy: Tuple[float, float]) -> float:

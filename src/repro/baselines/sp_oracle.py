@@ -182,6 +182,18 @@ class SPOracle:
         return self.query_xy((source_poi.x, source_poi.y),
                              (target_poi.x, target_poi.y))
 
+    def p2p_index(self, pois: POISet):
+        """This oracle bound to a POI set as a ``DistanceIndex``.
+
+        See :class:`~repro.core.index.P2PIndexAdapter`: the adapter
+        serves the id-based query/query_batch/query_matrix surface over
+        :meth:`query_p2p`, so SP-Oracle slots into protocol consumers
+        (harness, proximity queries) without per-family dispatch.
+        """
+        from ..core.index import P2PIndexAdapter
+        self._require_built()
+        return P2PIndexAdapter(self, pois)
+
     def query_vertex(self, vertex_a: int, vertex_b: int) -> float:
         """V2V query through the same neighbourhood machinery."""
         if vertex_a == vertex_b:

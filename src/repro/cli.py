@@ -122,9 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-resident", type=int, default=4,
                        help="LRU bound on simultaneously resident "
                             "compiled tables")
+    serve.add_argument("--mutable", action="append", default=[],
+                       metavar="NAME=MESH",
+                       help="register NAME (also given as NAME=STORE) as "
+                            "a *mutable* terrain backed by this mesh "
+                            "file; its POI workload is resampled with "
+                            "--pois/--poi-seed/--density and must match "
+                            "the store's fingerprint.  Mutable terrains "
+                            "accept insert/delete/flush")
+    serve.add_argument("--pois", type=int, default=50,
+                       help="POI count of mutable terrains' workloads")
+    serve.add_argument("--poi-seed", type=int, default=1)
+    serve.add_argument("--density", type=int, default=1)
+    serve.add_argument("--rebuild-factor", type=float, default=0.25,
+                       help="mutable terrains: amortised-rebuild "
+                            "threshold of the dynamic overlay")
     serve.add_argument("--repl", action="store_true",
-                       help="read query/batch/knn/range/rnn/stats "
-                            "commands from stdin (one per line)")
+                       help="read query/batch/knn/range/rnn/insert/"
+                            "delete/flush/stats commands from stdin "
+                            "(one per line)")
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -235,8 +251,6 @@ def _run_query_batch(args, oracle) -> int:
     ``oracle`` is a loaded :class:`SEOracle` or an opened
     :class:`~repro.core.store.StoredOracle` (``--store``).
     """
-    import numpy as np
-
     pairs = []
     for token in args.batch:
         try:
@@ -257,16 +271,16 @@ def _run_query_batch(args, oracle) -> int:
               file=sys.stderr)
         return 2
 
-    from .core.store import StoredOracle
+    # Both loaded JSON oracles and opened stores satisfy the
+    # DistanceIndex protocol — the first (tiny) batch pays any lazy
+    # compile / hash freeze, so the timed batch measures serving only.
+    from .core import pair_arrays
     tick = time.perf_counter()
-    compiled = (oracle.compiled if isinstance(oracle, StoredOracle)
-                else oracle.compiled())
-    sources = np.array([source for source, _ in pairs], dtype=np.intp)
-    targets = np.array([target for _, target in pairs], dtype=np.intp)
-    compiled.query_batch(sources[:1], targets[:1])  # freeze the tables
+    sources, targets = pair_arrays(pairs)
+    oracle.query_batch(sources[:1], targets[:1])
     compile_ms = (time.perf_counter() - tick) * 1e3
     tick = time.perf_counter()
-    distances = compiled.query_batch(sources, targets)
+    distances = oracle.query_batch(sources, targets)
     elapsed = time.perf_counter() - tick
     shown = min(len(pairs), 20)
     for index in range(shown):
@@ -277,7 +291,7 @@ def _run_query_batch(args, oracle) -> int:
     qps = len(pairs) / elapsed if elapsed > 0 else float("inf")
     print(f"{len(pairs)} queries in {elapsed * 1e3:.2f} ms "
           f"-> {qps:,.0f} q/s  [compile {compile_ms:.1f} ms, "
-          f"h={compiled.height}]")
+          f"h={oracle.height}]")
     return 0
 
 
@@ -308,6 +322,14 @@ def _cmd_serve(args) -> int:
     from .serving import OracleService
     service = OracleService(max_resident=args.max_resident)
     import zipfile
+    mutable_meshes = {}
+    for token in args.mutable:
+        name, _, mesh_path = token.partition("=")
+        if not name or not mesh_path:
+            print(f"error: malformed mutable registration {token!r}; "
+                  "expected NAME=MESH", file=sys.stderr)
+            return 2
+        mutable_meshes[name] = mesh_path
     for token in args.terrains:
         name, _, path = token.partition("=")
         if not name or not path:
@@ -315,14 +337,28 @@ def _cmd_serve(args) -> int:
                   "expected NAME=STORE", file=sys.stderr)
             return 2
         try:
-            meta = service.register(name, path)
+            if name in mutable_meshes:
+                engine = _workload(mutable_meshes.pop(name), args.pois,
+                                   args.poi_seed, args.density)
+                meta = service.register_mutable(
+                    name, path, engine,
+                    rebuild_factor=args.rebuild_factor)
+            else:
+                meta = service.register(name, path)
         except (OSError, ValueError, zipfile.BadZipFile) as error:
             print(f"error: cannot register {name}: {error}",
                   file=sys.stderr)
             return 2
+        kind = "mutable" if service.describe(name)["mutable"] else "static"
         print(f"registered {name}: {path} "
-              f"(epsilon={meta['epsilon']} h={meta['tree']['height']} "
+              f"({kind}, epsilon={meta['epsilon']} "
+              f"h={meta['tree']['height']} "
               f"pairs={meta['stats']['pairs_stored']})")
+    if mutable_meshes:
+        unknown = ", ".join(sorted(mutable_meshes))
+        print(f"error: --mutable names without a NAME=STORE "
+              f"registration: {unknown}", file=sys.stderr)
+        return 2
     if not args.repl:
         print(f"{len(service.terrains())} terrains registered "
               f"(max resident: {service.max_resident}); "
@@ -335,8 +371,10 @@ def _serve_repl(service) -> int:
     """Line-oriented REPL: one command per stdin line.
 
     Commands: ``query T S D``, ``batch T S:D [S:D ...]``,
-    ``knn T S K``, ``range T S RADIUS``, ``rnn T S``, ``terrains``,
-    ``stats``, ``quit``.
+    ``knn T S K``, ``range T S RADIUS``, ``rnn T S``,
+    ``insert T X Y``, ``delete T ID``, ``flush T``, ``terrains``,
+    ``stats``, ``quit``.  The update verbs require the terrain to be
+    registered mutable (``--mutable``).
 
     One bad line must never kill the loop: besides parse errors, a
     lazily (re-)loaded store can fail at query time (file replaced or
@@ -347,8 +385,8 @@ def _serve_repl(service) -> int:
     import json
     import zipfile
 
-    print("serving; commands: query/batch/knn/range/rnn/terrains/"
-          "stats/quit")
+    print("serving; commands: query/batch/knn/range/rnn/insert/delete/"
+          "flush/terrains/stats/quit")
     for line in sys.stdin:
         tokens = line.split()
         if not tokens:
@@ -392,6 +430,22 @@ def _serve_repl(service) -> int:
                 terrain, source = tokens[1], int(tokens[2])
                 hits = service.reverse_nearest(terrain, source)
                 print(" ".join(str(poi) for poi in hits) or "-")
+            elif verb == "insert":
+                terrain, x, y = tokens[1], float(tokens[2]), \
+                    float(tokens[3])
+                new_id = service.insert_poi(terrain, x, y)
+                print(f"inserted {new_id}")
+            elif verb == "delete":
+                terrain, poi_id = tokens[1], int(tokens[2])
+                service.delete_poi(terrain, poi_id)
+                print(f"deleted {poi_id}")
+            elif verb == "flush":
+                terrain = tokens[1]
+                started = time.perf_counter()
+                meta = service.flush(terrain)
+                elapsed = time.perf_counter() - started
+                print(f"flushed {terrain} in {elapsed:.2f}s "
+                      f"(pairs={meta['stats']['pairs_stored']})")
             else:
                 print(f"error: unknown command {verb!r}",
                       file=sys.stderr)

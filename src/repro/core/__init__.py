@@ -16,6 +16,13 @@ from .node_pairs import (
 from .a2a import A2AOracle, build_site_pois
 from .compiled import CompiledOracle, compile_oracle
 from .dynamic import DynamicSEOracle
+from .index import (
+    DistanceIndex,
+    DistanceIndexMixin,
+    P2PIndexAdapter,
+    ensure_index,
+    pair_arrays,
+)
 from .oracle import BuildStats, SEOracle
 from .parallel import (
     BuildExecutor,
@@ -34,6 +41,11 @@ from .store import StoredOracle, open_oracle, pack_document, pack_oracle
 __all__ = [
     "SEOracle",
     "BuildStats",
+    "DistanceIndex",
+    "DistanceIndexMixin",
+    "P2PIndexAdapter",
+    "ensure_index",
+    "pair_arrays",
     "CompiledOracle",
     "compile_oracle",
     "A2AOracle",

@@ -242,6 +242,19 @@ class A2AOracle:
         return self.query((source_poi.x, source_poi.y),
                           (target_poi.x, target_poi.y))
 
+    def p2p_index(self, pois: POISet):
+        """This oracle bound to a POI set as a ``DistanceIndex``.
+
+        The Appendix D workload (``n > N``: POIs are free at build
+        time) as a protocol object — id-based query/query_batch/
+        query_matrix over :meth:`query_p2p` via
+        :class:`~repro.core.index.P2PIndexAdapter`.
+        """
+        from .index import P2PIndexAdapter
+        if not self._built:
+            raise RuntimeError("oracle not built; call build() first")
+        return P2PIndexAdapter(self, pois)
+
     def _lift(self, x: float, y: float) -> np.ndarray:
         point = self._mesh.project_onto_surface(x, y)
         if point is None:

@@ -156,6 +156,15 @@ class CompiledOracle:
     def pair_hash(self) -> PerfectHashMap:
         return self._pair_hash
 
+    @property
+    def supports_updates(self) -> bool:
+        """``DistanceIndex`` flag: compiled tables are immutable."""
+        return False
+
+    @property
+    def is_compiled(self) -> bool:
+        return True
+
     def size_bytes(self) -> int:
         """Byte model: chain matrix + key planes + the pair table."""
         planes = (self._exact_high.nbytes + self._exact_low.nbytes

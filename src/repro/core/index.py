@@ -1,0 +1,226 @@
+"""The ``DistanceIndex`` protocol: one query surface for every oracle.
+
+Five query-answering families have grown in this repository — the SE
+oracle and its compiled/stored forms, the dynamic overlay oracle, the
+A2A oracle, and the three baselines — and with them five slightly
+different call surfaces.  Consumers (proximity queries, the serving
+layer, the CLI, the experiment harness) accreted ``isinstance`` /
+``hasattr`` special-casing to pick scalar vs batched paths per family.
+
+This module is the contract that deletes that special-casing:
+
+* :class:`DistanceIndex` — the structural protocol every family now
+  satisfies: ``query`` / ``query_batch`` / ``query_matrix`` over POI
+  ids, a ``num_pois`` count, and two capability flags —
+  ``supports_updates`` (the index accepts ``insert`` / ``delete``) and
+  ``is_compiled`` (batches run on flat tables rather than per-query
+  Python).  Flags describe *capabilities*, not types, so a consumer
+  never needs to import a concrete oracle class.
+* :class:`DistanceIndexMixin` — derives the scalar ``query`` and the
+  all-pairs ``query_matrix`` from ``query_batch``, plus conservative
+  default flags; families that only had a natural batched (or only a
+  natural scalar) form inherit the rest.
+* :class:`P2PIndexAdapter` — binds an xy-coordinate oracle
+  (:class:`~repro.core.a2a.A2AOracle`,
+  :class:`~repro.baselines.sp_oracle.SPOracle`) to a POI set so it
+  serves the same id-based protocol as everything else.
+
+The protocol is ``runtime_checkable``: ``isinstance(x, DistanceIndex)``
+verifies the surface is present (tests pin every family), while
+:func:`ensure_index` gives consumers a loud failure with the missing
+attribute named.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+__all__ = [
+    "DistanceIndex",
+    "DistanceIndexMixin",
+    "P2PIndexAdapter",
+    "aligned_id_arrays",
+    "ensure_index",
+    "pair_arrays",
+]
+
+
+def aligned_id_arrays(
+    sources: Sequence[int], targets: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate a ``query_batch`` id pair (shared helper).
+
+    Returns aligned 1-D intp arrays; raises ``ValueError`` otherwise —
+    the one place the protocol's input contract is enforced, so every
+    implementation rejects malformed batches identically.
+    """
+    source_ids = np.asarray(sources, dtype=np.intp)
+    target_ids = np.asarray(targets, dtype=np.intp)
+    if source_ids.shape != target_ids.shape or source_ids.ndim != 1:
+        raise ValueError(
+            "sources and targets must be aligned 1-D id arrays"
+        )
+    return source_ids, target_ids
+
+
+@runtime_checkable
+class DistanceIndex(Protocol):
+    """Anything answering POI-to-POI distance queries, scalar or batched.
+
+    ``query_batch`` is the serving primitive: aligned 1-D id arrays in,
+    float64 distances out, ``result[i] == query(sources[i],
+    targets[i])`` exactly.  ``query_matrix`` is the all-pairs form over
+    an id list (default: every POI).  ``num_pois`` counts the POIs the
+    index currently answers for; indexes with ``supports_updates`` may
+    answer for *sparse* external ids, in which case ``query_matrix``'s
+    default id set is the live ids, not ``range(num_pois)``.
+    """
+
+    @property
+    def num_pois(self) -> int: ...
+
+    @property
+    def supports_updates(self) -> bool: ...
+
+    @property
+    def is_compiled(self) -> bool: ...
+
+    def query(self, source: int, target: int) -> float: ...
+
+    def query_batch(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray: ...
+
+    def query_matrix(
+        self, pois: Optional[Sequence[int]] = None
+    ) -> np.ndarray: ...
+
+
+def ensure_index(oracle) -> "DistanceIndex":
+    """Validate that ``oracle`` satisfies :class:`DistanceIndex`.
+
+    Returns the oracle unchanged; raises ``TypeError`` naming the first
+    missing attribute otherwise.  Use at registration boundaries (the
+    serving layer) so a non-conforming object fails loudly at setup
+    time instead of deep inside a query path.
+    """
+    for attribute in (
+        "num_pois",
+        "supports_updates",
+        "is_compiled",
+        "query",
+        "query_batch",
+        "query_matrix",
+    ):
+        if not hasattr(oracle, attribute):
+            raise TypeError(
+                f"{type(oracle).__name__} does not satisfy DistanceIndex: "
+                f"missing {attribute!r}"
+            )
+    return oracle
+
+
+class DistanceIndexMixin:
+    """Derive the rest of the protocol from ``query_batch``.
+
+    Subclasses implement ``query_batch`` (and ``num_pois``); the mixin
+    supplies the scalar ``query``, the all-pairs ``query_matrix`` and
+    conservative capability flags.  Families with a faster native form
+    of any of these simply override it.
+    """
+
+    @property
+    def supports_updates(self) -> bool:
+        return False
+
+    @property
+    def is_compiled(self) -> bool:
+        return False
+
+    def query(self, source: int, target: int) -> float:
+        return float(
+            self.query_batch(
+                np.array([source], dtype=np.intp),
+                np.array([target], dtype=np.intp),
+            )[0]
+        )
+
+    def query_matrix(
+        self, pois: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        if pois is None:
+            ids = np.arange(self.num_pois, dtype=np.intp)
+        else:
+            ids = np.asarray(pois, dtype=np.intp)
+        count = ids.shape[0]
+        grid_s = np.repeat(ids, count)
+        grid_t = np.tile(ids, count)
+        return self.query_batch(grid_s, grid_t).reshape(count, count)
+
+
+class P2PIndexAdapter(DistanceIndexMixin):
+    """Bind an xy-coordinate oracle to a POI set as a ``DistanceIndex``.
+
+    The A2A and SP oracles answer queries between arbitrary surface
+    *points*; their P2P form takes the POI set per call
+    (``query_p2p(pois, source, target)``).  The adapter closes over one
+    POI set so the pair looks like every other id-based index — the
+    harness and proximity queries then need no per-family dispatch.
+
+    Batches loop the scalar P2P query (one neighbourhood minimisation
+    per pair is the native cost model of these oracles); the adapter
+    therefore reports ``is_compiled = False``.
+    """
+
+    def __init__(self, oracle, pois):
+        ensure_p2p = getattr(oracle, "query_p2p", None)
+        if ensure_p2p is None:
+            raise TypeError(
+                f"{type(oracle).__name__} has no query_p2p to adapt"
+            )
+        self._oracle = oracle
+        self._pois = pois
+
+    @property
+    def oracle(self):
+        return self._oracle
+
+    @property
+    def num_pois(self) -> int:
+        return len(self._pois)
+
+    def query(self, source: int, target: int) -> float:
+        return float(self._oracle.query_p2p(self._pois, source, target))
+
+    def query_batch(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray:
+        source_ids, target_ids = aligned_id_arrays(sources, targets)
+        query_p2p = self._oracle.query_p2p
+        pois = self._pois
+        return np.array(
+            [
+                query_p2p(pois, int(source), int(target))
+                for source, target in zip(source_ids, target_ids)
+            ],
+            dtype=np.float64,
+        )
+
+
+def pair_arrays(
+    pairs: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``(source, target)`` pairs into aligned intp id arrays."""
+    pair_list: List[Tuple[int, int]] = list(pairs)
+    sources = np.array([source for source, _ in pair_list], dtype=np.intp)
+    targets = np.array([target for _, target in pair_list], dtype=np.intp)
+    return sources, targets

@@ -292,6 +292,12 @@ class SEOracle:
         return self._built
 
     @property
+    def supports_updates(self) -> bool:
+        """Static index (``DistanceIndex`` flag); see
+        :class:`~repro.core.dynamic.DynamicSEOracle` for updates."""
+        return False
+
+    @property
     def height(self) -> int:
         self._require_built()
         return self._tree.height

@@ -101,16 +101,31 @@ _REQUIRED_SECTIONS = ("tree_table", "tree_radii", "chains",
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+def _member_info(name: str) -> zipfile.ZipInfo:
+    """A ZIP_STORED member header with a pinned timestamp.
+
+    Packing the same oracle twice must produce byte-identical stores
+    (the fixture and CI artifact diffs rely on it), so the member
+    date_time is the DOS epoch rather than the wall clock.
+    """
+    info = zipfile.ZipInfo(name, date_time=(1980, 1, 1, 0, 0, 0))
+    info.compress_type = zipfile.ZIP_STORED
+    info.create_system = 3  # pinned (platform-dependent by default)
+    info.external_attr = 0o644 << 16
+    return info
+
+
 def _write_store(path: PathLike, meta: Dict[str, Any],
                  sections: Dict[str, np.ndarray]) -> None:
     with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
-        archive.writestr(_META_MEMBER,
+        archive.writestr(_member_info(_META_MEMBER),
                          json.dumps(meta, sort_keys=True, indent=1))
         for name, array in sections.items():
             buffer = io.BytesIO()
             np.lib.format.write_array(
                 buffer, np.ascontiguousarray(array), allow_pickle=False)
-            archive.writestr(name + ".npy", buffer.getvalue())
+            archive.writestr(_member_info(name + ".npy"),
+                             buffer.getvalue())
 
 
 def _tree_sections(tree: CompressedPartitionTree
@@ -357,6 +372,20 @@ class StoredOracle:
     @property
     def num_pairs(self) -> int:
         return int(self._sections["pair_keys"].shape[0])
+
+    @property
+    def height(self) -> int:
+        return self.compiled.height
+
+    @property
+    def supports_updates(self) -> bool:
+        """``DistanceIndex`` flag: a mapped store is immutable — the
+        serving layer wraps it in a dynamic overlay for updates."""
+        return False
+
+    @property
+    def is_compiled(self) -> bool:
+        return True
 
     # Queries delegate to the compiled tables (bit-identical to the
     # scalar SEOracle.query by the compiled oracle's contract).

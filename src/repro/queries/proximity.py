@@ -54,7 +54,7 @@ nondeterministically under ``nan``, so the semantics are explicit:
 from __future__ import annotations
 
 import math
-from typing import List, Protocol, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -88,7 +88,8 @@ def _distance_row(oracle, source: int, targets: np.ndarray) -> np.ndarray:
     """Distances from ``source`` to every id in ``targets`` (float64).
 
     Dispatches to ``query_batch`` when the oracle has one (one
-    vectorised call), else loops the scalar protocol.
+    vectorised call — every :class:`~repro.core.index.DistanceIndex`
+    does), else loops the scalar protocol.
     """
     if hasattr(oracle, "query_batch"):
         sources = np.full(targets.shape, source, dtype=np.intp)
@@ -98,17 +99,38 @@ def _distance_row(oracle, source: int, targets: np.ndarray) -> np.ndarray:
                      for target in targets], dtype=np.float64)
 
 
+def _candidate_ids(source: int, num_pois, candidates) -> np.ndarray:
+    """The candidate target ids of a proximity scan (``source`` excluded).
+
+    ``candidates`` is the explicit id universe — the route for indexes
+    whose live ids are sparse (a mutable terrain after deletes), where
+    ``range(num_pois)`` would address tombstoned POIs.  Without it the
+    universe is the dense ``range(num_pois)``.
+    """
+    if candidates is not None:
+        ids = np.asarray(candidates, dtype=np.intp)
+        return ids[ids != source]
+    if num_pois is None:
+        raise ValueError("either num_pois or candidates is required")
+    return np.array([target for target in range(num_pois)
+                     if target != source], dtype=np.intp)
+
+
 # ----------------------------------------------------------------------
 # k nearest neighbors
 # ----------------------------------------------------------------------
 def k_nearest_neighbors(oracle, source: int, k: int,
-                        num_pois: int) -> List[Tuple[int, float]]:
+                        num_pois: Optional[int] = None,
+                        candidates: Optional[Sequence[int]] = None
+                        ) -> List[Tuple[int, float]]:
     """The ``k`` POIs nearest to ``source`` (excluding itself).
 
     Returns ``(poi, distance)`` pairs sorted by distance (ties broken
     by POI index for determinism).  Unreachable POIs (non-finite
     distance) are excluded; fewer than ``k`` results mean fewer than
-    ``k`` reachable POIs exist.
+    ``k`` reachable POIs exist.  ``candidates`` names an explicit id
+    universe (sparse live ids of a mutable index) in place of the
+    dense ``range(num_pois)``.
 
     Selection is O(n) oracle probes — one ``query_batch`` on a batched
     oracle — plus an ``argpartition`` restricted to the ``k`` smallest
@@ -116,8 +138,7 @@ def k_nearest_neighbors(oracle, source: int, k: int,
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    targets = np.array([target for target in range(num_pois)
-                        if target != source], dtype=np.intp)
+    targets = _candidate_ids(source, num_pois, candidates)
     if k == 0 or targets.size == 0:
         return []
     distances = _distance_row(oracle, source, targets)
@@ -136,7 +157,8 @@ def k_nearest_neighbors(oracle, source: int, k: int,
 
 
 def k_nearest_neighbors_scalar(oracle: DistanceOracleProtocol, source: int,
-                               k: int, num_pois: int
+                               k: int, num_pois: Optional[int] = None,
+                               candidates: Optional[Sequence[int]] = None
                                ) -> List[Tuple[int, float]]:
     """Reference implementation of :func:`k_nearest_neighbors`.
 
@@ -145,22 +167,25 @@ def k_nearest_neighbors_scalar(oracle: DistanceOracleProtocol, source: int,
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    candidates = [
-        (distance, target)
-        for target in range(num_pois) if target != source
-        if math.isfinite(distance := oracle.query(source, target))
+    hits = [
+        (distance, int(target))
+        for target in _candidate_ids(source, num_pois, candidates)
+        if math.isfinite(distance := oracle.query(source, int(target)))
     ]
-    candidates.sort()
-    return [(poi, distance) for distance, poi in candidates[:k]]
+    hits.sort()
+    return [(poi, distance) for distance, poi in hits[:k]]
 
 
 def nearest_neighbor(oracle, source: int,
-                     num_pois: int) -> Tuple[int, float]:
+                     num_pois: Optional[int] = None,
+                     candidates: Optional[Sequence[int]] = None
+                     ) -> Tuple[int, float]:
     """The single nearest reachable POI to ``source``.
 
     Raises ``ValueError`` when no other reachable POI exists.
     """
-    result = k_nearest_neighbors(oracle, source, 1, num_pois)
+    result = k_nearest_neighbors(oracle, source, 1, num_pois,
+                                 candidates=candidates)
     if not result:
         raise ValueError("no reachable POI exists")
     return result[0]
@@ -170,17 +195,19 @@ def nearest_neighbor(oracle, source: int,
 # range queries
 # ----------------------------------------------------------------------
 def range_query(oracle, source: int, radius: float,
-                num_pois: int) -> List[Tuple[int, float]]:
+                num_pois: Optional[int] = None,
+                candidates: Optional[Sequence[int]] = None
+                ) -> List[Tuple[int, float]]:
     """All POIs within geodesic ``radius`` of ``source`` (excl. itself).
 
     Results are ``(poi, distance)`` sorted by distance (ties by POI
     index); unreachable POIs are never inside a finite radius.  One
-    ``query_batch`` plus a mask on a batched oracle.
+    ``query_batch`` plus a mask on a batched oracle; ``candidates``
+    names a sparse id universe as in :func:`k_nearest_neighbors`.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    targets = np.array([target for target in range(num_pois)
-                        if target != source], dtype=np.intp)
+    targets = _candidate_ids(source, num_pois, candidates)
     if targets.size == 0:
         return []
     distances = _distance_row(oracle, source, targets)
@@ -191,15 +218,16 @@ def range_query(oracle, source: int, radius: float,
 
 
 def range_query_scalar(oracle: DistanceOracleProtocol, source: int,
-                       radius: float, num_pois: int
+                       radius: float, num_pois: Optional[int] = None,
+                       candidates: Optional[Sequence[int]] = None
                        ) -> List[Tuple[int, float]]:
     """Reference implementation of :func:`range_query` (pure Python)."""
     if radius < 0:
         raise ValueError("radius must be non-negative")
     hits = [
-        (distance, target)
-        for target in range(num_pois) if target != source
-        if (distance := oracle.query(source, target)) <= radius
+        (distance, int(target))
+        for target in _candidate_ids(source, num_pois, candidates)
+        if (distance := oracle.query(source, int(target))) <= radius
         and math.isfinite(distance)
     ]
     hits.sort()
@@ -210,66 +238,91 @@ def range_query_scalar(oracle: DistanceOracleProtocol, source: int,
 # reverse nearest neighbors
 # ----------------------------------------------------------------------
 def reverse_nearest_neighbors(oracle, source: int,
-                              num_pois: int) -> List[int]:
+                              num_pois: Optional[int] = None,
+                              candidates: Optional[Sequence[int]] = None
+                              ) -> List[int]:
     """Monochromatic RNN: POIs whose nearest neighbour is ``source``.
 
     Note the asymmetry with kNN: ``q`` is in ``RNN(source)`` iff no
     third POI is strictly closer to ``q`` than ``source`` is.
     Candidates unreachable from ``source`` are excluded; an unreachable
-    third POI never disqualifies a candidate.
+    third POI never disqualifies a candidate.  ``candidates`` scopes
+    the whole query to an explicit id universe (candidates *and* the
+    disqualifying third POIs — ids outside it do not exist); it must
+    contain ``source``.  The default universe is ``range(num_pois)``
+    — a caller may scope the query to a prefix of a larger oracle, and
+    POIs outside the scope must not act as disqualifying third POIs.
 
-    On a batched oracle each candidate's row is one ``query_batch``
-    (``query_matrix`` when available resolves all rows in a single
-    call); scalar oracles fall back to the probe-per-pair scan.
+    On a batched oracle the whole universe resolves in one
+    ``query_matrix`` call (row-wise ``query_batch`` otherwise); plain
+    scalar oracles fall back to the probe-per-pair scan.
     """
-    candidates = np.array([poi for poi in range(num_pois)
-                           if poi != source], dtype=np.intp)
-    if candidates.size == 0:
+    if candidates is not None:
+        ids = np.asarray(candidates, dtype=np.intp)
+        source_pos = np.flatnonzero(ids == source)
+        if source_pos.size != 1:
+            raise ValueError(
+                "candidates must contain the source id exactly once")
+        source_pos = int(source_pos[0])
+    else:
+        if num_pois is None:
+            raise ValueError("either num_pois or candidates is required")
+        ids = np.arange(num_pois, dtype=np.intp)
+        source_pos = source
+    count = ids.shape[0]
+    candidate_pos = np.array([pos for pos in range(count)
+                              if pos != source_pos], dtype=np.intp)
+    if candidate_pos.size == 0:
         return []
     if hasattr(oracle, "query_matrix"):
-        # Restrict to the first num_pois ids: a caller may scope the
-        # query to a prefix of a larger oracle, and POIs outside the
-        # scope must not act as disqualifying third POIs.
-        matrix = np.asarray(
-            oracle.query_matrix(np.arange(num_pois, dtype=np.intp)),
-            dtype=np.float64)
-        rows = matrix[candidates]
+        matrix = np.asarray(oracle.query_matrix(ids), dtype=np.float64)
+        rows = matrix[candidate_pos]
     elif hasattr(oracle, "query_batch"):
-        grid_t = np.tile(np.arange(num_pois, dtype=np.intp),
-                         candidates.size)
-        grid_s = np.repeat(candidates, num_pois)
+        grid_t = np.tile(ids, candidate_pos.size)
+        grid_s = np.repeat(ids[candidate_pos], count)
         rows = np.asarray(oracle.query_batch(grid_s, grid_t),
-                          dtype=np.float64).reshape(candidates.size,
-                                                    num_pois)
+                          dtype=np.float64).reshape(candidate_pos.size,
+                                                    count)
     else:
-        return reverse_nearest_neighbors_scalar(oracle, source, num_pois)
+        return reverse_nearest_neighbors_scalar(oracle, source, num_pois,
+                                                candidates=candidates)
 
-    to_source = rows[:, source]
+    # Rows/columns are *positions* in the id universe, so the same
+    # arithmetic covers dense and sparse id sets.
+    to_source = rows[:, source_pos]
     # Third-POI distances: mask out the candidate itself and the query
     # POI, neutralise non-finite entries (they never win a strict
     # comparison), then compare the row minimum against to_source.
     others = rows.copy()
-    others[np.arange(candidates.size), candidates] = np.inf
-    others[:, source] = np.inf
+    others[np.arange(candidate_pos.size), candidate_pos] = np.inf
+    others[:, source_pos] = np.inf
     others[~np.isfinite(others)] = np.inf
     closest_other = others.min(axis=1)
     qualified = np.isfinite(to_source) & (closest_other >= to_source)
-    return [int(poi) for poi in candidates[qualified]]
+    return [int(poi) for poi in ids[candidate_pos[qualified]]]
 
 
 def reverse_nearest_neighbors_scalar(oracle: DistanceOracleProtocol,
                                      source: int,
-                                     num_pois: int) -> List[int]:
+                                     num_pois: Optional[int] = None,
+                                     candidates: Optional[Sequence[int]]
+                                     = None) -> List[int]:
     """Reference implementation of :func:`reverse_nearest_neighbors`."""
+    if candidates is not None:
+        ids = [int(poi) for poi in candidates]
+    else:
+        if num_pois is None:
+            raise ValueError("either num_pois or candidates is required")
+        ids = list(range(num_pois))
     result = []
-    for candidate in range(num_pois):
+    for candidate in ids:
         if candidate == source:
             continue
         to_source = oracle.query(candidate, source)
         if not math.isfinite(to_source):
             continue
         is_rnn = True
-        for other in range(num_pois):
+        for other in ids:
             if other in (candidate, source):
                 continue
             distance = oracle.query(candidate, other)

@@ -6,6 +6,6 @@ distance and proximity queries per terrain, and exposes per-terrain
 hit/load/latency counters.
 """
 
-from .service import OracleService, TerrainCounters
+from .service import MutableRegistration, OracleService, TerrainCounters
 
-__all__ = ["OracleService", "TerrainCounters"]
+__all__ = ["MutableRegistration", "OracleService", "TerrainCounters"]

@@ -17,10 +17,22 @@ Design
   sections are ``mmap``-ed read-only, eviction just drops references —
   the OS page cache decides what actually leaves memory, and a re-load
   of a warm store is microseconds.
+* **Mutable terrains.**  ``register_mutable`` pairs a store with its
+  terrain workload and wraps it in a
+  :class:`~repro.core.dynamic.DynamicSEOracle` overlay
+  (:class:`MutableRegistration`): the mmap sections stay read-only and
+  shared while inserts/deletes accrue copy-on-write delta state on
+  top.  ``insert_poi`` / ``delete_poi`` mutate the overlay;
+  ``flush`` rebuilds over the active POI set and atomically repacks
+  the store file through :mod:`~repro.core.store`, then re-adopts the
+  fresh maps.  Queries route through the same
+  :class:`~repro.core.index.DistanceIndex` protocol as static
+  terrains — proximity scans just receive the live external ids.
 * **Counters per terrain.**  Every terrain tracks queries, batches,
-  resident-table hits, loads, evictions, and cumulative load/query
-  seconds (:class:`TerrainCounters`), so an operator can see which
-  terrains are hot and what the residency bound costs in re-loads.
+  resident-table hits, loads, evictions, updates, flushes, and
+  cumulative load/query seconds (:class:`TerrainCounters`), so an
+  operator can see which terrains are hot and what the residency
+  bound costs in re-loads.
 
 The service is deliberately transport-agnostic: the CLI wraps it in a
 line-oriented REPL (``python -m repro serve --repl``), and an HTTP or
@@ -29,6 +41,7 @@ RPC front-end would wrap the same object the same way.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -36,14 +49,22 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.store import StoredOracle, open_oracle, read_store_meta
+from ..core.dynamic import DynamicSEOracle
+from ..core.index import DistanceIndex, ensure_index
+from ..core.store import (
+    StoredOracle,
+    open_oracle,
+    pack_oracle,
+    read_store_meta,
+)
+from ..geodesic.engine import GeodesicEngine
 from ..queries import (
     k_nearest_neighbors,
     range_query,
     reverse_nearest_neighbors,
 )
 
-__all__ = ["OracleService", "TerrainCounters"]
+__all__ = ["OracleService", "TerrainCounters", "MutableRegistration"]
 
 
 @dataclass
@@ -55,6 +76,8 @@ class TerrainCounters:
     hits: int = 0             # dispatches served by resident tables
     loads: int = 0            # store opens (cold + post-eviction)
     evictions: int = 0        # times this terrain lost residency
+    updates: int = 0          # POI inserts + deletes (mutable only)
+    flushes: int = 0          # rebuild + repack cycles (mutable only)
     load_seconds: float = 0.0
     query_seconds: float = 0.0
 
@@ -67,6 +90,8 @@ class TerrainCounters:
             "hits": self.hits,
             "loads": self.loads,
             "evictions": self.evictions,
+            "updates": self.updates,
+            "flushes": self.flushes,
             "load_seconds": self.load_seconds,
             "query_seconds": self.query_seconds,
             "mean_batch_seconds": mean_query,
@@ -78,6 +103,31 @@ class _Registration:
     path: str
     meta: Dict[str, Any]
     counters: TerrainCounters = field(default_factory=TerrainCounters)
+
+    @property
+    def mutable(self) -> bool:
+        return False
+
+
+@dataclass
+class MutableRegistration(_Registration):
+    """A mutable terrain: mmap'd store base + copy-on-write overlay.
+
+    The overlay (a :class:`~repro.core.dynamic.DynamicSEOracle` built
+    via :meth:`~repro.core.dynamic.DynamicSEOracle.from_store`) serves
+    every query; its base tables are the store's read-only maps, so
+    the store file keeps being shared across processes while updates
+    accrue only private delta state.  ``dirty`` tracks divergence
+    between the in-memory overlay and the on-disk store — ``flush``
+    clears it by rebuilding and repacking.
+    """
+
+    overlay: Optional[DynamicSEOracle] = None
+    dirty: bool = False
+
+    @property
+    def mutable(self) -> bool:
+        return True
 
 
 class OracleService:
@@ -112,8 +162,11 @@ class OracleService:
 
         Only the store's metadata member is read — the terrain becomes
         resident lazily, on its first query.  Re-registering an id
-        replaces the path and drops any resident tables for it.
+        replaces the path and drops any resident tables for it; a
+        mutable registration with unflushed updates refuses to be
+        replaced (flush or unregister it first).
         """
+        self._refuse_dirty_replacement(terrain_id)
         meta = read_store_meta(path)
         previous = self._registry.get(terrain_id)
         if terrain_id in self._resident:
@@ -128,7 +181,47 @@ class OracleService:
         self._registry[terrain_id] = registration
         return meta
 
+    def register_mutable(self, terrain_id: str, path: str,
+                         engine: GeodesicEngine,
+                         rebuild_factor: float = 0.25,
+                         jobs: int = 1) -> Dict[str, Any]:
+        """Register a store as a *mutable* terrain; returns its meta.
+
+        ``engine`` is the workload the store was packed for (checked
+        via the fingerprint) — it is what gives update operations a
+        surface to run SSADs on, which a bare store cannot provide.
+        The store's sections are mapped read-only immediately and
+        become the overlay's base tables; the terrain is pinned (it
+        never participates in the LRU — evicting it would discard
+        unflushed updates).  As with :meth:`register`, an existing
+        mutable registration with unflushed updates refuses to be
+        replaced.
+        """
+        self._refuse_dirty_replacement(terrain_id)
+        stored = open_oracle(path, engine=engine, strict=True)
+        overlay = DynamicSEOracle.from_store(
+            stored, engine, rebuild_factor=rebuild_factor, jobs=jobs)
+        ensure_index(overlay)
+        previous = self._registry.get(terrain_id)
+        self._resident.pop(terrain_id, None)
+        registration = MutableRegistration(
+            path=str(path), meta=read_store_meta(path), overlay=overlay)
+        if previous is not None:
+            registration.counters = previous.counters
+        self._registry[terrain_id] = registration
+        return registration.meta
+
+    def _refuse_dirty_replacement(self, terrain_id: str) -> None:
+        """Re-registration must not silently drop unflushed updates."""
+        previous = self._registry.get(terrain_id)
+        if previous is not None and previous.mutable and previous.dirty:
+            raise ValueError(
+                f"terrain {terrain_id!r} has unflushed updates; "
+                "flush or unregister it before re-registering"
+            )
+
     def unregister(self, terrain_id: str) -> None:
+        """Drop a registration (unflushed overlay updates are lost)."""
         self._registration(terrain_id)
         self._resident.pop(terrain_id, None)
         del self._registry[terrain_id]
@@ -142,7 +235,14 @@ class OracleService:
         registration = self._registration(terrain_id)
         meta = dict(registration.meta)
         meta["path"] = registration.path
-        meta["resident"] = terrain_id in self._resident
+        meta["mutable"] = registration.mutable
+        if registration.mutable:
+            meta["resident"] = True  # pinned: the overlay holds the maps
+            meta["overlay_size"] = registration.overlay.overlay_size
+            meta["num_pois"] = registration.overlay.num_pois
+            meta["dirty"] = registration.dirty
+        else:
+            meta["resident"] = terrain_id in self._resident
         return meta
 
     def _registration(self, terrain_id: str) -> _Registration:
@@ -159,8 +259,14 @@ class OracleService:
     # ------------------------------------------------------------------
     def oracle(self, terrain_id: str) -> StoredOracle:
         """The resident :class:`StoredOracle`, loading (and possibly
-        evicting another terrain) as needed."""
+        evicting another terrain) as needed.  Mutable terrains serve
+        through their overlay instead — see :meth:`_index`."""
         registration = self._registration(terrain_id)
+        if registration.mutable:
+            raise ValueError(
+                f"terrain {terrain_id!r} is mutable; it serves through "
+                "its overlay, not a bare StoredOracle"
+            )
         stored = self._resident.get(terrain_id)
         if stored is not None:
             self._resident.move_to_end(terrain_id)
@@ -178,16 +284,41 @@ class OracleService:
         return stored
 
     def resident_terrains(self) -> List[str]:
-        """Terrain ids currently resident, least recently used first."""
+        """Terrain ids currently resident, least recently used first.
+
+        Mutable terrains are pinned outside the LRU and not listed.
+        """
         return list(self._resident)
 
     def evict(self, terrain_id: str) -> bool:
-        """Drop a terrain's resident tables; True if it was resident."""
+        """Drop a terrain's resident tables; True if it was resident.
+
+        Mutable terrains cannot be evicted (their overlay would lose
+        unflushed updates); evicting one returns False.
+        """
         self._registration(terrain_id)
         if self._resident.pop(terrain_id, None) is None:
             return False
         self._registry[terrain_id].counters.evictions += 1
         return True
+
+    # ------------------------------------------------------------------
+    # protocol routing
+    # ------------------------------------------------------------------
+    def _index(self, terrain_id: str
+               ) -> Tuple[DistanceIndex, Optional[np.ndarray]]:
+        """The terrain's :class:`DistanceIndex` plus its candidate ids.
+
+        Static terrains serve their (possibly freshly loaded) stored
+        oracle with the dense id universe (``None``); mutable terrains
+        serve the overlay with the live external ids — one routing
+        point instead of per-call-site ``isinstance`` dispatch.
+        """
+        registration = self._registration(terrain_id)
+        if registration.mutable:
+            overlay = registration.overlay
+            return overlay, overlay.live_ids()
+        return self.oracle(terrain_id), None
 
     # ------------------------------------------------------------------
     # queries
@@ -199,10 +330,10 @@ class OracleService:
     def query_batch(self, terrain_id: str, sources: Sequence[int],
                     targets: Sequence[int]) -> np.ndarray:
         """Aligned batched distances on one terrain (float64 array)."""
-        stored = self.oracle(terrain_id)
+        index, _ = self._index(terrain_id)
         counters = self._registry[terrain_id].counters
         started = time.perf_counter()
-        result = stored.query_batch(sources, targets)
+        result = index.query_batch(sources, targets)
         counters.query_seconds += time.perf_counter() - started
         counters.batches += 1
         counters.queries += int(result.shape[0])
@@ -210,11 +341,12 @@ class OracleService:
 
     def query_matrix(self, terrain_id: str,
                      pois: Optional[Sequence[int]] = None) -> np.ndarray:
-        """All-pairs matrix on one terrain (default: every POI)."""
-        stored = self.oracle(terrain_id)
+        """All-pairs matrix on one terrain (default: every POI; on a
+        mutable terrain the default id set is the live ids)."""
+        index, _ = self._index(terrain_id)
         counters = self._registry[terrain_id].counters
         started = time.perf_counter()
-        result = stored.query_matrix(pois)
+        result = index.query_matrix(pois)
         counters.query_seconds += time.perf_counter() - started
         counters.batches += 1
         counters.queries += int(result.size)
@@ -226,28 +358,37 @@ class OracleService:
     def k_nearest(self, terrain_id: str, source: int, k: int
                   ) -> List[Tuple[int, float]]:
         """kNN by geodesic distance on one terrain."""
-        stored = self.oracle(terrain_id)
+        index, candidates = self._index(terrain_id)
+        probes = (candidates.size if candidates is not None
+                  else index.num_pois)
         return self._timed_proximity(
-            terrain_id, stored.num_pois,
-            lambda: k_nearest_neighbors(stored.compiled, source, k,
-                                        stored.num_pois))
+            terrain_id, probes,
+            lambda: k_nearest_neighbors(index, source, k,
+                                        index.num_pois,
+                                        candidates=candidates))
 
     def range_query(self, terrain_id: str, source: int, radius: float
                     ) -> List[Tuple[int, float]]:
         """All POIs within a geodesic radius on one terrain."""
-        stored = self.oracle(terrain_id)
+        index, candidates = self._index(terrain_id)
+        probes = (candidates.size if candidates is not None
+                  else index.num_pois)
         return self._timed_proximity(
-            terrain_id, stored.num_pois,
-            lambda: range_query(stored.compiled, source, radius,
-                                stored.num_pois))
+            terrain_id, probes,
+            lambda: range_query(index, source, radius,
+                                index.num_pois,
+                                candidates=candidates))
 
     def reverse_nearest(self, terrain_id: str, source: int) -> List[int]:
         """Monochromatic RNN on one terrain."""
-        stored = self.oracle(terrain_id)
+        index, candidates = self._index(terrain_id)
+        probes = (candidates.size if candidates is not None
+                  else index.num_pois)
         return self._timed_proximity(
-            terrain_id, stored.num_pois * stored.num_pois,
-            lambda: reverse_nearest_neighbors(stored.compiled, source,
-                                              stored.num_pois))
+            terrain_id, probes * probes,
+            lambda: reverse_nearest_neighbors(index, source,
+                                              index.num_pois,
+                                              candidates=candidates))
 
     def _timed_proximity(self, terrain_id: str, probes: int, run):
         counters = self._registry[terrain_id].counters
@@ -257,6 +398,73 @@ class OracleService:
         counters.batches += 1
         counters.queries += probes
         return result
+
+    # ------------------------------------------------------------------
+    # updates (mutable terrains)
+    # ------------------------------------------------------------------
+    def _mutable(self, terrain_id: str) -> MutableRegistration:
+        registration = self._registration(terrain_id)
+        if not registration.mutable:
+            raise ValueError(
+                f"terrain {terrain_id!r} is not mutable; register it "
+                "with register_mutable to accept updates"
+            )
+        return registration
+
+    def insert_poi(self, terrain_id: str, x: float, y: float) -> int:
+        """Insert the surface POI above planar ``(x, y)``; returns its
+        stable external id.  The insert lands in the terrain's overlay
+        — the on-disk store is untouched until :meth:`flush`."""
+        registration = self._mutable(terrain_id)
+        new_id = registration.overlay.insert(x, y)
+        registration.counters.updates += 1
+        registration.dirty = True
+        return new_id
+
+    def delete_poi(self, terrain_id: str, poi_id: int) -> None:
+        """Tombstone a POI; subsequent queries on it raise
+        ``KeyError``.  On-disk state is untouched until
+        :meth:`flush`."""
+        registration = self._mutable(terrain_id)
+        registration.overlay.delete(poi_id)
+        registration.counters.updates += 1
+        registration.dirty = True
+
+    def flush(self, terrain_id: str) -> Dict[str, Any]:
+        """Persist a mutable terrain: rebuild + repack + re-adopt.
+
+        Rebuilds the base oracle over the active POI set (compacting
+        tombstones and folding the overlay in), repacks the store file
+        *atomically* (temp file + rename, so concurrent readers of the
+        old maps stay valid), re-opens it and re-adopts the fresh
+        read-only maps as the overlay's base.  No-op when the overlay
+        matches the on-disk store already.  Returns the (possibly
+        refreshed) store meta.
+        """
+        registration = self._mutable(terrain_id)
+        overlay = registration.overlay
+        if not registration.dirty:
+            return registration.meta
+        if overlay.has_pending_updates:
+            overlay.force_rebuild()
+        temp_path = registration.path + ".flush.tmp"
+        try:
+            pack_oracle(overlay.oracle, temp_path)
+            os.replace(temp_path, registration.path)
+        except BaseException:
+            # A failed pack/replace must not leave a stale temp file
+            # next to the store; the registration stays dirty and the
+            # (already rebuilt) overlay keeps serving.
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        stored = open_oracle(registration.path,
+                             engine=overlay.engine, strict=True)
+        overlay.adopt_store(stored)
+        registration.meta = read_store_meta(registration.path)
+        registration.counters.flushes += 1
+        registration.dirty = False
+        return registration.meta
 
     # ------------------------------------------------------------------
     # statistics
@@ -269,11 +477,18 @@ class OracleService:
         report = {}
         for terrain_id, registration in self._registry.items():
             entry = registration.counters.as_dict()
-            entry["resident"] = terrain_id in self._resident
             entry["path"] = registration.path
+            entry["mutable"] = registration.mutable
             entry["num_pois"] = None
-            stored = self._resident.get(terrain_id)
-            if stored is not None:
-                entry["num_pois"] = stored.num_pois
+            if registration.mutable:
+                entry["resident"] = True  # pinned
+                entry["num_pois"] = registration.overlay.num_pois
+                entry["overlay_size"] = registration.overlay.overlay_size
+                entry["dirty"] = registration.dirty
+            else:
+                entry["resident"] = terrain_id in self._resident
+                stored = self._resident.get(terrain_id)
+                if stored is not None:
+                    entry["num_pois"] = stored.num_pois
             report[terrain_id] = entry
         return report

@@ -328,3 +328,68 @@ class TestBench:
         out = capsys.readouterr().out
         assert "Figure 13" in out
         assert "Query time" in out
+
+
+class TestServeMutable:
+    @pytest.fixture()
+    def mutable_store(self, terrain_file, tmp_path, capsys):
+        store_path = tmp_path / "dunes.store"
+        main(["build", str(terrain_file), "--pois", "10",
+              "--poi-seed", "1", "--epsilon", "0.25",
+              "--out", str(store_path)])
+        capsys.readouterr()
+        return store_path
+
+    def test_malformed_mutable_registration(self, mutable_store, capsys):
+        assert main(["serve", f"dunes={mutable_store}",
+                     "--mutable", "no-equals"]) == 2
+        assert "malformed mutable" in capsys.readouterr().err
+
+    def test_mutable_name_without_store(self, mutable_store,
+                                        terrain_file, capsys):
+        assert main(["serve", f"dunes={mutable_store}",
+                     "--mutable", f"other={terrain_file}",
+                     "--pois", "10"]) == 2
+        assert "without a NAME=STORE" in capsys.readouterr().err
+
+    def test_mutable_workload_mismatch(self, mutable_store,
+                                       terrain_file, capsys):
+        """A wrong POI workload fails the fingerprint check loudly."""
+        assert main(["serve", f"dunes={mutable_store}",
+                     "--mutable", f"dunes={terrain_file}",
+                     "--pois", "9"]) == 2
+        assert "cannot register dunes" in capsys.readouterr().err
+
+    def test_mutable_repl_lifecycle(self, mutable_store, terrain_file,
+                                    capsys, monkeypatch):
+        """insert -> query -> knn -> delete -> rnn -> flush -> batch,
+        plus update verbs rejected on a static terrain."""
+        import io
+        script = "\n".join([
+            "query dunes 0 5",
+            "insert dunes 40 40",
+            "query dunes 10 0",      # the fresh external id is 10
+            "knn dunes 10 3",
+            "delete dunes 3",
+            "rnn dunes 0",
+            "flush dunes",
+            "flush dunes",           # second flush is a no-op
+            "batch dunes 0:5 10:0",
+            "insert rock 1 1",       # static terrain: rejected per line
+            "stats",
+            "quit",
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", f"dunes={mutable_store}",
+                     f"rock={mutable_store}",
+                     "--mutable", f"dunes={terrain_file}",
+                     "--pois", "10", "--poi-seed", "1", "--repl"]) == 0
+        captured = capsys.readouterr()
+        assert "registered dunes" in captured.out and "mutable" \
+            in captured.out
+        assert "inserted 10" in captured.out
+        assert "deleted 3" in captured.out
+        assert "flushed dunes" in captured.out
+        assert '"updates": 2' in captured.out    # stats JSON block
+        assert '"flushes": 1' in captured.out
+        assert "not mutable" in captured.err

@@ -159,3 +159,146 @@ class TestAccuracyAfterChurn:
             for b in live[3:]:
                 approx = oracle.query(a, b)
                 assert approx >= 0
+
+
+class TestBatchedQueries:
+    """PR-5 acceptance: batch == scalar bit-identically, with a
+    non-empty overlay and at least one delete, no recompile per
+    update."""
+
+    @pytest.fixture()
+    def churned(self, dyn):
+        """Overlay of 3 inserts + 2 deletes, no rebuild triggered."""
+        mesh, pois, oracle = dyn
+        oracle.rebuild_factor = 10.0  # keep updates in the overlay
+        inserted = [oracle.insert(20.0 + 9 * k, 30.0 + 7 * k)
+                    for k in range(3)]
+        oracle.delete(4)
+        oracle.delete(inserted[1])
+        assert oracle.overlay_size == 2
+        assert oracle.has_pending_updates
+        return oracle, inserted
+
+    def test_batch_equals_scalar_bitwise(self, churned):
+        import numpy as np
+        oracle, _ = churned
+        rebuilds = oracle.rebuild_count
+        ids = oracle.live_ids()
+        sources = np.repeat(ids, ids.size)
+        targets = np.tile(ids, ids.size)
+        batched = oracle.query_batch(sources, targets)
+        for i in range(sources.size):
+            assert batched[i] == oracle.query(int(sources[i]),
+                                              int(targets[i]))
+        # ... and the updates never forced a base rebuild/recompile.
+        assert oracle.rebuild_count == rebuilds
+
+    def test_scalar_first_then_batch_identical(self, dyn):
+        """Cache-fill order must not matter: scalar answers first,
+        batch answers second, still bit-identical."""
+        import numpy as np
+        _, _, oracle = dyn
+        oracle.rebuild_factor = 10.0
+        fresh = oracle.insert(55.0, 25.0)
+        oracle.delete(7)
+        ids = oracle.live_ids()
+        pairs = [(int(a), int(b)) for a in ids for b in ids]
+        scalar = [oracle.query(a, b) for a, b in pairs]
+        batched = oracle.query_batch([a for a, _ in pairs],
+                                     [b for _, b in pairs])
+        assert scalar == list(batched)
+        assert fresh in ids
+
+    def test_batch_rejects_dead_and_unknown_ids(self, churned):
+        oracle, inserted = churned
+        with pytest.raises(KeyError):
+            oracle.query_batch([0], [4])          # tombstoned base POI
+        with pytest.raises(KeyError):
+            oracle.query_batch([inserted[1]], [0])  # deleted overlay POI
+        with pytest.raises(KeyError):
+            oracle.query_batch([0], [9999])       # never existed
+
+    def test_query_matrix_over_live_ids(self, churned):
+        import numpy as np
+        oracle, _ = churned
+        ids = oracle.live_ids()
+        matrix = oracle.query_matrix()
+        assert matrix.shape == (ids.size, ids.size)
+        assert (np.diag(matrix) == 0.0).all()
+        for i, a in enumerate(ids):
+            for j, b in enumerate(ids):
+                assert matrix[i, j] == oracle.query(int(a), int(b))
+
+    def test_query_many_shim_deprecated_but_identical(self, churned):
+        oracle, _ = churned
+        pairs = [(0, 5), (5, 0), (3, 3)]
+        with pytest.warns(DeprecationWarning):
+            answers = oracle.query_many(pairs)
+        assert answers == [oracle.query(a, b) for a, b in pairs]
+
+    def test_protocol_flags(self, dyn):
+        _, _, oracle = dyn
+        from repro.core import DistanceIndex
+        assert isinstance(oracle, DistanceIndex)
+        assert oracle.supports_updates
+        assert not oracle.is_compiled      # nothing compiled yet
+        oracle.query_batch([0], [1])       # first batch compiles the base
+        assert oracle.is_compiled
+
+    def test_empty_batch(self, dyn):
+        _, _, oracle = dyn
+        assert oracle.query_batch([], []).shape == (0,)
+
+
+class TestStoreBackedBase:
+    """DynamicSEOracle.from_store: mmap'd compiled base + overlay."""
+
+    @pytest.fixture()
+    def stored_pair(self, tmp_path):
+        from repro.core import SEOracle, open_oracle, pack_oracle
+        from repro.geodesic import GeodesicEngine
+        mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                            relief=15.0, seed=41)
+        pois = sample_uniform(mesh, 12, seed=42)
+        engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+        static = SEOracle(engine, epsilon=0.25, seed=1).build()
+        path = tmp_path / "base.store"
+        pack_oracle(static, path)
+        stored = open_oracle(path, engine=engine)
+        return static, stored, engine
+
+    def test_base_answers_bit_identical(self, stored_pair):
+        import numpy as np
+        from repro.core import DynamicSEOracle
+        static, stored, engine = stored_pair
+        dyn = DynamicSEOracle.from_store(stored, engine,
+                                         rebuild_factor=5.0)
+        assert dyn.is_compiled          # the mmap'd tables, no build
+        assert dyn.rebuild_count == 0   # never rebuilt
+        n = engine.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        assert (dyn.query_batch(np.repeat(grid, n), np.tile(grid, n))
+                == static.query_batch(np.repeat(grid, n),
+                                      np.tile(grid, n))).all()
+
+    def test_updates_on_mapped_base(self, stored_pair):
+        from repro.core import DynamicSEOracle
+        _, stored, engine = stored_pair
+        dyn = DynamicSEOracle.from_store(stored, engine,
+                                         rebuild_factor=5.0)
+        fresh = dyn.insert(45.0, 45.0)
+        dyn.delete(3)
+        assert dyn.query(fresh, 0) > 0
+        batched = dyn.query_batch([fresh, 0], [0, fresh])
+        assert batched[0] == batched[1] == dyn.query(fresh, 0)
+        with pytest.raises(KeyError):
+            dyn.query(3, 0)
+
+    def test_adopt_store_requires_clean_overlay(self, stored_pair):
+        from repro.core import DynamicSEOracle
+        _, stored, engine = stored_pair
+        dyn = DynamicSEOracle.from_store(stored, engine,
+                                         rebuild_factor=5.0)
+        dyn.insert(45.0, 45.0)
+        with pytest.raises(RuntimeError):
+            dyn.adopt_store(stored)

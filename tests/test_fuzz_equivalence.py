@@ -150,3 +150,91 @@ class TestStoreRoundTripProperty:
             for target in range(n):
                 assert full.query(source, target) \
                     == oracle.query(source, target)
+
+
+class TestDynamicUpdateFuzz:
+    """Interleaved insert/delete/batch-query fuzzing (PR-5 tentpole).
+
+    Each seeded draw builds a *dynamic* oracle over a fresh random
+    workload, then walks a seeded action sequence mixing POI inserts,
+    deletes and batched queries.  After every batch:
+
+    1. **Batch == scalar, bit for bit** — the delta tables serve both
+       paths, whatever the overlay/tombstone state.
+    2. **Approximation vs ground truth** — every answered distance is
+       within ``(1 ± ε)`` of ``dijkstra_reference`` on the *current*
+       metric graph (overlay sites attached); overlay answers are
+       exact on that metric, base answers inherit the SE guarantee.
+    """
+
+    ACTIONS = 14
+
+    @pytest.fixture(params=SEEDS, ids=[f"seed{seed}" for seed in SEEDS])
+    def dynamic_drawn(self, request):
+        from repro.core import DynamicSEOracle
+        rng = random.Random(1000 + request.param)
+        mesh = make_terrain(
+            grid_exponent=3,
+            extent=(rng.uniform(60.0, 160.0), rng.uniform(60.0, 160.0)),
+            relief=rng.uniform(5.0, 40.0),
+            roughness=rng.uniform(0.4, 0.7),
+            seed=rng.randrange(1 << 16),
+        )
+        pois = sample_uniform(mesh, rng.randrange(6, 14),
+                              seed=rng.randrange(1 << 16))
+        oracle = DynamicSEOracle(
+            mesh, pois, epsilon=rng.choice(EPSILONS),
+            rebuild_factor=rng.choice((0.5, 2.0, 10.0)),
+            seed=rng.randrange(1 << 16)).build()
+        return mesh, oracle, rng
+
+    def _reference_distance(self, oracle, poi_a: int, poi_b: int) -> float:
+        """Exact metric-graph distance via the reference kernel."""
+        if poi_a == poi_b:
+            return 0.0
+        node_a = oracle._node_of(poi_a)
+        node_b = oracle._node_of(poi_b)
+        result = dijkstra_reference(oracle.engine.graph.adjacency,
+                                    node_a, targets=[node_b])
+        return result.distances.get(node_b, float("inf"))
+
+    def test_interleaved_updates_and_batches(self, dynamic_drawn):
+        mesh, oracle, rng = dynamic_drawn
+        eps = oracle.epsilon
+        low, high = mesh.bounding_box()
+        batches_checked = 0
+        for _ in range(self.ACTIONS):
+            action = rng.choice(("insert", "delete", "batch", "batch"))
+            live = [int(poi) for poi in oracle.live_ids()]
+            if action == "insert":
+                x = rng.uniform(float(low[0]), float(high[0]))
+                y = rng.uniform(float(low[1]), float(high[1]))
+                if mesh.locate_face(x, y) >= 0:
+                    fresh = oracle.insert(x, y)
+                    assert oracle.query(fresh, fresh) == 0.0
+            elif action == "delete" and len(live) > 3:
+                victim = rng.choice(live)
+                oracle.delete(victim)
+                with pytest.raises(KeyError):
+                    oracle.query(victim, live[0] if live[0] != victim
+                                 else live[1])
+            else:
+                pairs = [(rng.choice(live), rng.choice(live))
+                         for _ in range(12)]
+                sources = [a for a, _ in pairs]
+                targets = [b for _, b in pairs]
+                batched = oracle.query_batch(sources, targets)
+                for index, (a, b) in enumerate(pairs):
+                    scalar = oracle.query(a, b)
+                    assert batched[index] == scalar, (
+                        f"batch/scalar diverge on ({a}, {b})")
+                    true = self._reference_distance(oracle, a, b)
+                    if true == 0.0:
+                        assert scalar == 0.0
+                    else:
+                        assert abs(scalar - true) <= eps * true * (
+                            1 + 1e-6), (
+                            f"({a},{b}): {scalar} vs exact {true} "
+                            f"(eps={eps})")
+                batches_checked += 1
+        assert batches_checked > 0

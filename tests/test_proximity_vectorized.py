@@ -249,13 +249,14 @@ class TestRNNEdgeCases:
 
 
 class TestScalarOracleFallbackGolden:
-    """Golden coverage for the real *scalar* oracle backends.
+    """Golden coverage for the kernel-backed oracle families.
 
-    DynamicSEOracle and KAlgo expose only ``query``; the public
-    proximity functions must route them through the probe-per-pair
-    fallback and still match the ``*_scalar`` executable spec exactly
-    — including a dynamic oracle whose overlay (freshly inserted POIs)
-    answers via memoised SSADs rather than the SE pair set.
+    DynamicSEOracle and KAlgo now satisfy the ``DistanceIndex``
+    protocol, so the public proximity functions route them through the
+    batched path; the results must still match the ``*_scalar``
+    executable spec exactly — including a dynamic oracle whose overlay
+    (freshly inserted POIs) answers via delta-row SSADs rather than
+    the SE pair set.
     """
 
     @pytest.fixture(scope="class")
@@ -285,8 +286,19 @@ class TestScalarOracleFallbackGolden:
         pois = sample_uniform(mesh, 12, seed=66)
         return KAlgo(mesh, pois, epsilon=0.5, points_per_edge=1).build()
 
-    def test_dynamic_oracle_has_no_batch_path(self, dynamic_oracle):
-        assert not hasattr(dynamic_oracle, "query_batch")
+    def test_dynamic_oracle_serves_the_protocol(self, dynamic_oracle):
+        """The PR-5 refactor: the dynamic oracle answers batches too,
+        bit-identically to its scalar path (overlay included)."""
+        from repro.core import DistanceIndex
+        assert isinstance(dynamic_oracle, DistanceIndex)
+        assert dynamic_oracle.supports_updates
+        ids = dynamic_oracle.live_ids()
+        sources = np.repeat(ids, ids.size)
+        targets = np.tile(ids, ids.size)
+        batched = dynamic_oracle.query_batch(sources, targets)
+        for index in range(sources.size):
+            assert batched[index] == dynamic_oracle.query(
+                int(sources[index]), int(targets[index]))
 
     def test_dynamic_knn_golden(self, dynamic_oracle):
         n = dynamic_oracle.num_active

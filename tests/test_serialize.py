@@ -264,14 +264,22 @@ class TestVersion3Fixture:
 
 class TestCrossVersionMatrix:
     """v1/v2/v3/v4 files of the *same* workload all load and answer a
-    golden query set identically."""
+    golden query set identically.
+
+    v4 appears twice: the *checked-in* binary fixture (loaded byte for
+    byte, guarding the on-disk layout across code changes) and a fresh
+    ``pack_document`` upgrade of the v3 document (guarding the
+    conversion path).
+    """
 
     V2 = pathlib.Path(__file__).parent / "data" / "oracle_v2.json"
     V3 = pathlib.Path(__file__).parent / "data" / "oracle_v3.json"
+    V4 = pathlib.Path(__file__).parent / "data" / "oracle_v4.store"
 
     @pytest.fixture(scope="class")
     def version_files(self, tmp_path_factory):
-        """One file per format version, derived from the fixtures."""
+        """One file per format version, derived from the fixtures;
+        ``"4-fresh"`` is the on-the-fly v3 -> v4 upgrade."""
         tmp = tmp_path_factory.mktemp("versions")
         document = json.loads(self.V3.read_text())
         v1 = dict(document)
@@ -283,7 +291,8 @@ class TestCrossVersionMatrix:
         v4_path = tmp / "oracle_v4.store"
         from repro.core import pack_document
         pack_document(document, v4_path)
-        return {1: v1_path, 2: self.V2, 3: self.V3, 4: v4_path}
+        return {1: v1_path, 2: self.V2, 3: self.V3, 4: self.V4,
+                "4-fresh": v4_path}
 
     def test_all_versions_answer_identically(self, workload,
                                              version_files):
@@ -296,7 +305,7 @@ class TestCrossVersionMatrix:
             loaded = load_oracle(path, workload, strict=False)
             answers[version] = [loaded.query(source, target)
                                 for source, target in golden_pairs]
-        for version in (2, 3, 4):
+        for version in (2, 3, 4, "4-fresh"):
             assert answers[version] == answers[1], (
                 f"v{version} answers diverge from v1"
             )
@@ -314,7 +323,7 @@ class TestCrossVersionMatrix:
                                                            targets)
             for version, path in version_files.items()
         }
-        for version in (2, 3, 4):
+        for version in (2, 3, 4, "4-fresh"):
             assert (matrices[version] == matrices[1]).all()
 
     def test_v4_reports_upgraded_metadata(self, version_files):
@@ -326,6 +335,31 @@ class TestCrossVersionMatrix:
         assert meta["seed"] == document["seed"]
         assert meta["fingerprint"] == document["fingerprint"]
         assert meta["stats"]["pairs_stored"] == len(document["pairs"])
+
+    def test_checked_in_v4_fixture_matches_fresh_pack_bytes(
+            self, version_files):
+        """Packing is deterministic (pinned zip timestamps), so the
+        fixture's exact bytes reproduce from the v3 document — any
+        layout drift in the writer shows up as a byte diff here."""
+        fixture = self.V4.read_bytes()
+        fresh = pathlib.Path(version_files["4-fresh"]).read_bytes()
+        assert fixture == fresh
+
+    def test_checked_in_v4_fixture_mmaps_byte_for_byte(self, workload):
+        """The committed store opens straight off its bytes: mapped
+        sections, fingerprint intact, fresh-pack answer parity."""
+        from repro.core import open_oracle
+        stored = open_oracle(self.V4)
+        document = json.loads(self.V3.read_text())
+        assert stored.fingerprint == document["fingerprint"]
+        assert stored.num_pairs == len(document["pairs"])
+        loaded = load_oracle(self.V3, workload, strict=False)
+        n = loaded.engine.num_pois
+        import numpy as np
+        grid = np.arange(n, dtype=np.intp)
+        assert (stored.query_batch(np.repeat(grid, n), np.tile(grid, n))
+                == loaded.query_batch(np.repeat(grid, n),
+                                      np.tile(grid, n))).all()
 
 
 class TestFingerprint:

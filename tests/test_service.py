@@ -175,3 +175,218 @@ class TestCounters:
         assert stats["andes"]["num_pois"] is not None
         assert stats["alps"]["resident"] is False
         assert stats["alps"]["mean_batch_seconds"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# mutable terrains
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def mutable_setup(tmp_path):
+    """A mutable registration plus its workload engine and reference."""
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=51)
+    poi_set = sample_uniform(mesh, 12, seed=52)
+    engine = GeodesicEngine(mesh, poi_set, points_per_edge=1)
+    oracle = SEOracle(engine, epsilon=0.3, seed=51).build()
+    path = tmp_path / "mutable.store"
+    pack_oracle(oracle, path)
+    service = OracleService(max_resident=2)
+    service.register_mutable("dunes", str(path), engine,
+                             rebuild_factor=10.0)
+    return service, engine, oracle, path
+
+
+class TestMutableRegistration:
+    def test_wrong_workload_rejected(self, mutable_setup, tmp_path):
+        service, _, _, path = mutable_setup
+        other_mesh = make_terrain(grid_exponent=3, seed=999)
+        other = GeodesicEngine(other_mesh,
+                               sample_uniform(other_mesh, 12, seed=1),
+                               points_per_edge=1)
+        with pytest.raises(ValueError):
+            service.register_mutable("wrong", str(path), other)
+
+    def test_pinned_outside_lru(self, mutable_setup):
+        service, _, _, _ = mutable_setup
+        service.query("dunes", 0, 1)
+        assert "dunes" not in service.resident_terrains()
+        assert service.evict("dunes") is False
+        assert service.describe("dunes")["resident"] is True
+
+    def test_static_terrain_rejects_updates(self, service):
+        with pytest.raises(ValueError, match="not mutable"):
+            service.insert_poi("alps", 10.0, 10.0)
+        with pytest.raises(ValueError, match="not mutable"):
+            service.delete_poi("alps", 0)
+        with pytest.raises(ValueError, match="not mutable"):
+            service.flush("alps")
+
+    def test_oracle_accessor_rejects_mutable(self, mutable_setup):
+        service, _, _, _ = mutable_setup
+        with pytest.raises(ValueError, match="mutable"):
+            service.oracle("dunes")
+
+    def test_base_answers_match_packed_oracle(self, mutable_setup):
+        service, engine, oracle, _ = mutable_setup
+        n = engine.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        assert (service.query_batch("dunes", np.repeat(grid, n),
+                                    np.tile(grid, n))
+                == oracle.query_batch(np.repeat(grid, n),
+                                      np.tile(grid, n))).all()
+
+
+class TestMutableLifecycle:
+    """The acceptance flow: insert -> query -> delete -> flush, with
+    query/batch/kNN/range/RNN correct at every step."""
+
+    def test_full_lifecycle(self, mutable_setup):
+        service, engine, _, _ = mutable_setup
+        overlay = service._registry["dunes"].overlay
+
+        # Insert, then query it every way.
+        fresh = service.insert_poi("dunes", 45.0, 45.0)
+        assert fresh == engine.num_pois
+        d = service.query("dunes", fresh, 0)
+        assert 0 < d < float("inf")
+        batched = service.query_batch("dunes", [fresh, 0, 1],
+                                      [0, fresh, 2])
+        assert batched[0] == d == batched[1]
+        assert batched[2] == service.query("dunes", 1, 2)
+
+        # Proximity queries see the inserted POI and match the scalar
+        # reference over the live ids.
+        from repro.queries import (
+            k_nearest_neighbors_scalar,
+            range_query_scalar,
+            reverse_nearest_neighbors_scalar,
+        )
+        live = overlay.live_ids()
+        knn = service.k_nearest("dunes", fresh, 3)
+        assert knn == k_nearest_neighbors_scalar(
+            overlay, fresh, 3, candidates=live)
+        radius = knn[-1][1]
+        hits = service.range_query("dunes", fresh, radius)
+        assert hits == range_query_scalar(
+            overlay, fresh, radius, candidates=live)
+        rnn = service.reverse_nearest("dunes", 0)
+        assert rnn == reverse_nearest_neighbors_scalar(
+            overlay, 0, candidates=live)
+
+        # Delete a base POI: it disappears from every query surface.
+        service.delete_poi("dunes", 3)
+        with pytest.raises(KeyError):
+            service.query("dunes", 3, 0)
+        assert 3 not in [poi for poi, _ in
+                         service.k_nearest("dunes", 0, 20)]
+        assert 3 not in service.reverse_nearest("dunes", 0)
+
+        # Flush: rebuild + repack; everything still answers, external
+        # ids stay stable, the overlay is folded into the base.
+        stats_before = service.stats()["dunes"]
+        assert stats_before["dirty"] is True
+        meta = service.flush("dunes")
+        assert meta["stats"]["pairs_stored"] > 0
+        assert service.stats()["dunes"]["dirty"] is False
+        assert service.stats()["dunes"]["flushes"] == 1
+        assert overlay.overlay_size == 0
+        assert service.query("dunes", fresh, 0) > 0
+        with pytest.raises(KeyError):
+            service.query("dunes", 3, 0)
+        knn_after = service.k_nearest("dunes", fresh, 3)
+        assert knn_after == k_nearest_neighbors_scalar(
+            overlay, fresh, 3, candidates=overlay.live_ids())
+        assert service.reverse_nearest("dunes", 0) == \
+            reverse_nearest_neighbors_scalar(
+                overlay, 0, candidates=overlay.live_ids())
+
+    def test_flush_reopens_store_from_disk(self, mutable_setup):
+        from repro.core import open_oracle
+        service, engine, _, path = mutable_setup
+        fresh = service.insert_poi("dunes", 40.0, 60.0)
+        service.flush("dunes")
+        # The on-disk store now covers the grown POI set and serves
+        # the same answers as the live overlay.
+        stored = open_oracle(str(path))
+        overlay = service._registry["dunes"].overlay
+        assert stored.num_pois == overlay.num_pois
+        live = overlay.live_ids()
+        sources = np.repeat(live, live.size)
+        targets = np.tile(live, live.size)
+        slot = {int(ext): i for i, ext in enumerate(live)}
+        remap_s = np.array([slot[int(e)] for e in sources], dtype=np.intp)
+        remap_t = np.array([slot[int(e)] for e in targets], dtype=np.intp)
+        assert (overlay.query_batch(sources, targets)
+                == stored.query_batch(remap_s, remap_t)).all()
+        assert fresh in live
+
+    def test_flush_without_updates_is_noop(self, mutable_setup):
+        import os
+        service, _, _, path = mutable_setup
+        before = os.path.getmtime(path)
+        meta = service.flush("dunes")
+        assert meta["version"] == 4
+        assert os.path.getmtime(path) == before
+        assert service.stats()["dunes"]["flushes"] == 0
+
+    def test_update_counters(self, mutable_setup):
+        service, _, _, _ = mutable_setup
+        service.insert_poi("dunes", 30.0, 30.0)
+        service.insert_poi("dunes", 60.0, 60.0)
+        service.delete_poi("dunes", 1)
+        stats = service.stats()["dunes"]
+        assert stats["updates"] == 3
+        assert stats["mutable"] is True
+        assert stats["overlay_size"] == 2
+
+    def test_reregister_over_dirty_overlay_refused(self, mutable_setup):
+        """Unflushed updates must never be dropped silently: both
+        register and register_mutable refuse, flush unblocks."""
+        service, engine, _, path = mutable_setup
+        service.insert_poi("dunes", 30.0, 30.0)
+        with pytest.raises(ValueError, match="unflushed"):
+            service.register("dunes", str(path))
+        with pytest.raises(ValueError, match="unflushed"):
+            service.register_mutable("dunes", str(path), engine)
+        service.flush("dunes")
+        service.register("dunes", str(path))
+        assert service.describe("dunes")["mutable"] is False
+        with pytest.raises(ValueError, match="not mutable"):
+            service.insert_poi("dunes", 10.0, 10.0)
+
+    def test_failed_flush_cleans_temp_and_stays_dirty(self,
+                                                     mutable_setup,
+                                                     monkeypatch):
+        import os
+        service, _, _, path = mutable_setup
+        service.insert_poi("dunes", 30.0, 30.0)
+
+        def broken_pack(oracle, temp_path):
+            with open(temp_path, "wb") as handle:
+                handle.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.serving.service.pack_oracle",
+                            broken_pack)
+        with pytest.raises(OSError, match="disk full"):
+            service.flush("dunes")
+        assert not os.path.exists(str(path) + ".flush.tmp")
+        assert service.stats()["dunes"]["dirty"] is True
+        # The overlay keeps serving, and a later (healthy) flush works.
+        assert service.query("dunes", 0, 1) > 0
+        monkeypatch.undo()
+        service.flush("dunes")
+        assert service.stats()["dunes"]["dirty"] is False
+
+    def test_adopt_store_rejects_different_oracle(self, mutable_setup,
+                                                  tmp_path):
+        """The same workload packed with a different epsilon must not
+        be adoptable as 'the current base'."""
+        from repro.core import open_oracle
+        service, engine, _, _ = mutable_setup
+        other = SEOracle(engine, epsilon=0.6, seed=51).build()
+        other_path = tmp_path / "other.store"
+        pack_oracle(other, other_path)
+        overlay = service._registry["dunes"].overlay
+        with pytest.raises(ValueError, match="epsilon"):
+            overlay.adopt_store(open_oracle(other_path, engine=engine))
