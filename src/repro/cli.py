@@ -141,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="read query/batch/knn/range/rnn/insert/"
                             "delete/flush/stats commands from stdin "
                             "(one per line)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for network serving")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="serve the newline-delimited-JSON protocol "
+                            "on this TCP port (0 = ephemeral); without "
+                            "--port or --repl, registrations are only "
+                            "validated")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharing the port via "
+                            "SO_REUSEPORT; each mmaps the same stores "
+                            "(page-cache shared) and mutable terrains "
+                            "are pinned to worker 0, the writer, which "
+                            "also listens on a dedicated writer port")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescing cap: concurrent point queries "
+                            "drained into one query_batch probe")
+    serve.add_argument("--linger-us", type=float, default=0.0,
+                       help="batching linger in microseconds (0 = "
+                            "work-conserving natural batching)")
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -330,6 +349,8 @@ def _cmd_serve(args) -> int:
                   "expected NAME=MESH", file=sys.stderr)
             return 2
         mutable_meshes[name] = mesh_path
+    registrations = []
+    mutable_paths = {}
     for token in args.terrains:
         name, _, path = token.partition("=")
         if not name or not path:
@@ -338,7 +359,8 @@ def _cmd_serve(args) -> int:
             return 2
         try:
             if name in mutable_meshes:
-                engine = _workload(mutable_meshes.pop(name), args.pois,
+                mutable_paths[name] = mutable_meshes.pop(name)
+                engine = _workload(mutable_paths[name], args.pois,
                                    args.poi_seed, args.density)
                 meta = service.register_mutable(
                     name, path, engine,
@@ -349,6 +371,7 @@ def _cmd_serve(args) -> int:
             print(f"error: cannot register {name}: {error}",
                   file=sys.stderr)
             return 2
+        registrations.append((name, path))
         kind = "mutable" if service.describe(name)["mutable"] else "static"
         print(f"registered {name}: {path} "
               f"({kind}, epsilon={meta['epsilon']} "
@@ -359,12 +382,34 @@ def _cmd_serve(args) -> int:
         print(f"error: --mutable names without a NAME=STORE "
               f"registration: {unknown}", file=sys.stderr)
         return 2
-    if not args.repl:
-        print(f"{len(service.terrains())} terrains registered "
-              f"(max resident: {service.max_resident}); "
-              "pass --repl to serve queries from stdin")
-        return 0
-    return _serve_repl(service)
+    if args.repl:
+        return _serve_repl(service)
+    if args.port is not None:
+        from .serving import MutableSpec, ServerConfig
+        from .serving.server import run_workers
+        if args.workers < 1:
+            print("error: --workers must be at least 1", file=sys.stderr)
+            return 2
+        config = ServerConfig(
+            registrations=tuple(registrations),
+            mutable={name: MutableSpec(mesh_path=mesh_path,
+                                       pois=args.pois,
+                                       poi_seed=args.poi_seed,
+                                       density=args.density,
+                                       rebuild_factor=args.rebuild_factor)
+                     for name, mesh_path in mutable_paths.items()},
+            host=args.host, port=args.port, workers=args.workers,
+            max_batch=args.max_batch, linger_us=args.linger_us,
+            max_resident=args.max_resident)
+        # Single-worker mode reuses the service registered above
+        # instead of rebuilding mutable workloads a second time.
+        return run_workers(
+            config, service=service if args.workers == 1 else None)
+    print(f"{len(service.terrains())} terrains registered "
+          f"(max resident: {service.max_resident}); "
+          "pass --repl to serve queries from stdin "
+          "or --port to serve over TCP")
+    return 0
 
 
 def _serve_repl(service) -> int:
@@ -380,13 +425,26 @@ def _serve_repl(service) -> int:
     lazily (re-)loaded store can fail at query time (file replaced or
     deleted after registration or an LRU eviction) and a defective
     store can raise from the query kernel itself — all of it is
-    reported per line while other terrains keep serving.
+    reported per line, as ``error[<type>]: <message>`` stderr lines
+    carrying the network protocol's error taxonomy, while other
+    terrains keep serving.  EOF and Ctrl-C both end the loop cleanly.
     """
+    print("serving; commands: query/batch/knn/range/rnn/insert/delete/"
+          "flush/terrains/stats/quit")
+    try:
+        _repl_loop(service)
+    except KeyboardInterrupt:
+        pass
+    print("bye")
+    return 0
+
+
+def _repl_loop(service) -> None:
     import json
     import zipfile
 
-    print("serving; commands: query/batch/knn/range/rnn/insert/delete/"
-          "flush/terrains/stats/quit")
+    from .serving.protocol import ProtocolError, describe_error
+
     for line in sys.stdin:
         tokens = line.split()
         if not tokens:
@@ -447,13 +505,12 @@ def _serve_repl(service) -> int:
                 print(f"flushed {terrain} in {elapsed:.2f}s "
                       f"(pairs={meta['stats']['pairs_stored']})")
             else:
-                print(f"error: unknown command {verb!r}",
-                      file=sys.stderr)
+                raise ProtocolError(
+                    "unknown-op", f"unknown command {verb!r}")
         except (KeyError, IndexError, ValueError, OSError,
-                RuntimeError, zipfile.BadZipFile) as error:
-            print(f"error: {error}", file=sys.stderr)
-    print("bye")
-    return 0
+                RuntimeError, zipfile.BadZipFile,
+                ProtocolError) as error:
+            print(describe_error(error), file=sys.stderr)
 
 
 def _cmd_bench(args) -> int:

@@ -37,8 +37,7 @@ External POI ids are stable across rebuilds.
 from __future__ import annotations
 
 import math
-import warnings
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -548,28 +547,6 @@ class DynamicSEOracle:
         grid_s = np.repeat(ids, count)
         grid_t = np.tile(ids, count)
         return self.query_batch(grid_s, grid_t).reshape(count, count)
-
-    def query_many(self, pairs) -> List[float]:
-        """Deprecated list-of-pairs form; use :meth:`query_batch`.
-
-        Kept as a shim for one release: delegates to ``query_batch``
-        and returns a plain float list, exactly the old contract.
-        """
-        warnings.warn(
-            "DynamicSEOracle.query_many is deprecated; use "
-            "query_batch(sources, targets) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        pair_list = [(int(a), int(b)) for a, b in pairs]
-        if not pair_list:
-            return []
-        return [
-            float(distance)
-            for distance in self.query_batch(
-                [a for a, _ in pair_list], [b for _, b in pair_list]
-            )
-        ]
 
     def _node_of(self, poi_id: int) -> int:
         """Metric-graph node hosting a live external id (test hook)."""

@@ -76,7 +76,7 @@ from .node_pairs import NodePairSet
 from .oracle import SEOracle
 
 __all__ = ["pack_oracle", "pack_document", "open_oracle", "StoredOracle",
-           "STORE_VERSION"]
+           "STORE_VERSION", "file_signature"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -296,6 +296,22 @@ def read_store(path: PathLike, mmap: bool = True
     return meta, sections
 
 
+def file_signature(path: PathLike) -> Optional[Tuple[int, int, int]]:
+    """A cheap identity of the store *file generation*: ``(inode,
+    size, mtime_ns)``.
+
+    The atomic repack path publishes a new store by ``os.replace`` —
+    a fresh inode — so comparing signatures is how long-lived readers
+    notice a new generation without re-reading ``meta.json``.  Returns
+    ``None`` when the file is (transiently) absent.
+    """
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+
 def read_store_meta(path: PathLike) -> Dict[str, Any]:
     """Only the meta document — no array section is touched.
 
@@ -364,6 +380,23 @@ class StoredOracle:
     compiled: CompiledOracle
     load_seconds: float
     _sections: Dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    #: file generation the maps were opened from (None: unknown)
+    stat_signature: Optional[Tuple[int, int, int]] = None
+
+    def is_stale(self) -> bool:
+        """True when the store file on disk is a newer generation than
+        the one these tables were mapped from.
+
+        A replaced file (atomic repack = ``os.replace`` = new inode)
+        flips this; the old maps stay valid — POSIX keeps the mapped
+        inode alive — so in-flight queries finish on the old
+        generation while the caller re-opens the new one.  A missing
+        file is *not* stale: there is nothing newer to re-map.
+        """
+        if self.stat_signature is None:
+            return False
+        current = file_signature(self.path)
+        return current is not None and current != self.stat_signature
 
     @property
     def num_pois(self) -> int:
@@ -486,6 +519,7 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
         replaced while open.
     """
     started = time.perf_counter()
+    signature = file_signature(path)
     meta, sections = read_store(path, mmap=mmap)
     pair_hash = PerfectHashMap.from_frozen(
         sections["pair_keys"], sections["pair_distances"],
@@ -508,6 +542,7 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
         compiled=compiled,
         load_seconds=0.0,
         _sections=sections,
+        stat_signature=signature,
     )
     # Captured before the (optional) fingerprint check: load_seconds
     # reports the open itself, not the cost of hashing the terrain.

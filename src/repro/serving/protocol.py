@@ -1,0 +1,327 @@
+"""Newline-delimited JSON serving protocol, shared by server and client.
+
+One request per line, one response per line, every line a single JSON
+object.  The protocol is deliberately boring: it has to be trivially
+speakable from ``nc``, any language's socket + JSON library, and the
+load generator — and cheap enough to parse that the compiled query
+tables (microseconds per probe) stay the hot path.
+
+Requests
+--------
+``{"op": <verb>, "id": <tag?>, "v": <version?>, ...fields}``
+
+``op``
+    One of :data:`OPS`.  Query verbs (``query``, ``batch``, ``knn``,
+    ``range``, ``rnn``) and update verbs (``insert``, ``delete``,
+    ``flush``) take a ``terrain``; introspection verbs (``hello``,
+    ``terrains``, ``stats``, ``describe``) mostly don't.
+``id``
+    Optional client tag (any JSON scalar), echoed verbatim in the
+    response — pipelined clients use it to match responses to
+    requests.
+``v``
+    Optional protocol version; omitting it means
+    :data:`PROTOCOL_VERSION`.  A mismatch is answered with an
+    ``unsupported-version`` error instead of a guess.
+
+Responses
+---------
+``{"ok": true, "id": <tag>, "result": {...}}`` on success, or
+``{"ok": false, "id": <tag>, "error": {"type": <type>,
+"message": <text>}, ...extra}`` on failure.  ``error.type`` is one of
+:data:`ERROR_TYPES` — typed so clients can dispatch without parsing
+prose (``unknown-terrain`` vs ``unknown-poi`` vs ``bad-request`` ...).
+A ``not-writer`` error additionally carries ``writer_host`` /
+``writer_port``: in multi-worker mode update verbs are pinned to the
+single writer worker, and the error tells the client where to retry.
+
+Wire framing
+------------
+UTF-8, one ``\\n``-terminated line per message, no length prefix.
+:func:`encode` appends the newline; :func:`decode_line` tolerates a
+trailing ``\\r`` (telnet-friendly).  Blank lines are ignored by the
+server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ERROR_TYPES",
+    "ProtocolError",
+    "encode",
+    "decode_line",
+    "request",
+    "ok_response",
+    "error_response",
+    "validate_request",
+    "classify_exception",
+    "describe_error",
+]
+
+PROTOCOL_VERSION = 1
+
+#: error taxonomy; every error response's ``error.type`` is one of these
+ERROR_TYPES = (
+    "bad-request",          # malformed JSON / missing or mistyped field
+    "unsupported-version",  # request "v" != PROTOCOL_VERSION
+    "unknown-op",           # verb not in OPS
+    "unknown-terrain",      # terrain id not registered
+    "unknown-poi",          # POI id out of range / deleted
+    "bad-value",            # well-formed but unusable value (k < 1, ...)
+    "not-mutable",          # update verb on a static terrain
+    "not-writer",           # update verb on a reader worker
+    "internal",             # store I/O or unexpected server failure
+)
+
+# Per-op field specs: name -> (converter, required).  Converters both
+# validate and normalise (e.g. bool is not an int here, and POI ids
+# must be non-negative — negative ints would silently alias from the
+# end of the table).
+_INT = ("integer", int)
+_ID = ("non-negative integer", "id")
+_FLOAT = ("number", float)
+_STR = ("string", str)
+_ID_LIST = ("list of non-negative integers", None)
+
+_SPECS: Dict[str, Dict[str, Tuple[Tuple[str, Any], bool]]] = {
+    "hello": {},
+    "terrains": {},
+    "stats": {},
+    "describe": {"terrain": (_STR, True)},
+    "query": {
+        "terrain": (_STR, True),
+        "source": (_ID, True),
+        "target": (_ID, True),
+    },
+    "batch": {
+        "terrain": (_STR, True),
+        "sources": (_ID_LIST, True),
+        "targets": (_ID_LIST, True),
+    },
+    "knn": {
+        "terrain": (_STR, True),
+        "source": (_ID, True),
+        "k": (_INT, True),
+    },
+    "range": {
+        "terrain": (_STR, True),
+        "source": (_ID, True),
+        "radius": (_FLOAT, True),
+    },
+    "rnn": {"terrain": (_STR, True), "source": (_ID, True)},
+    "insert": {
+        "terrain": (_STR, True),
+        "x": (_FLOAT, True),
+        "y": (_FLOAT, True),
+    },
+    "delete": {"terrain": (_STR, True), "poi": (_ID, True)},
+    "flush": {"terrain": (_STR, True)},
+}
+
+#: the protocol's verbs
+OPS = tuple(_SPECS)
+
+
+class ProtocolError(Exception):
+    """A typed protocol-level failure, mapping 1:1 to an error reply."""
+
+    def __init__(self, error_type: str, message: str):
+        if error_type not in ERROR_TYPES:
+            raise ValueError(f"unknown error type {error_type!r}")
+        super().__init__(message)
+        self.error_type = error_type
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode(message: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline, UTF-8."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message object.
+
+    Raises :class:`ProtocolError` (``bad-request``) when the line is
+    not JSON or not a JSON object — never a bare ``json`` exception,
+    so servers can answer with a typed error instead of dying.
+    """
+    try:
+        message = json.loads(line.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError as error:
+        raise ProtocolError("bad-request", f"invalid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"expected a JSON object, got {type(message).__name__}",
+        )
+    return message
+
+
+def request(op: str, request_id: Any = None, **fields: Any) -> Dict[str, Any]:
+    """Build a request message (client-side convenience)."""
+    message: Dict[str, Any] = {"op": op, "v": PROTOCOL_VERSION}
+    if request_id is not None:
+        message["id"] = request_id
+    message.update(fields)
+    return message
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"ok": True, "id": request_id, "result": result}
+
+
+def error_response(
+    request_id: Any, error_type: str, message: str, **extra: Any
+) -> Dict[str, Any]:
+    if error_type not in ERROR_TYPES:
+        raise ValueError(f"unknown error type {error_type!r}")
+    response: Dict[str, Any] = {
+        "ok": False,
+        "id": request_id,
+        "error": {"type": error_type, "message": message},
+    }
+    response.update(extra)
+    return response
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def _is_id(value: Any) -> bool:
+    return (
+        not isinstance(value, bool) and isinstance(value, int) and value >= 0
+    )
+
+
+def _convert(name: str, value: Any, kind: Tuple[str, Any]) -> Any:
+    label, caster = kind
+    if caster is int:
+        # bool is an int subclass but "true" is not a POI id.
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "bad-request", f"field {name!r} must be an {label}"
+            )
+        return value
+    if caster == "id":
+        if not _is_id(value):
+            raise ProtocolError(
+                "bad-request", f"field {name!r} must be a {label}"
+            )
+        return value
+    if caster is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                "bad-request", f"field {name!r} must be a {label}"
+            )
+        return float(value)
+    if caster is str:
+        if not isinstance(value, str):
+            raise ProtocolError(
+                "bad-request", f"field {name!r} must be a {label}"
+            )
+        return value
+    # id list
+    if not isinstance(value, list) or any(
+        not _is_id(item) for item in value
+    ):
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be a {label}"
+        )
+    return value
+
+
+def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Check version, op and fields; returns the normalised request.
+
+    Raises :class:`ProtocolError` with the precise typed failure —
+    ``unsupported-version`` before ``unknown-op`` before
+    ``bad-request`` — so one malformed aspect yields one stable error.
+    """
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported-version",
+            f"protocol version {version!r} not supported "
+            f"(this server speaks {PROTOCOL_VERSION})",
+        )
+    op = message.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("bad-request", "missing or invalid 'op' field")
+    spec = _SPECS.get(op)
+    if spec is None:
+        raise ProtocolError(
+            "unknown-op", f"unknown op {op!r}; known ops: {', '.join(OPS)}"
+        )
+    normalised: Dict[str, Any] = {"op": op, "id": message.get("id")}
+    for name, (kind, required) in spec.items():
+        if name not in message:
+            if required:
+                raise ProtocolError(
+                    "bad-request", f"op {op!r} requires field {name!r}"
+                )
+            continue
+        normalised[name] = _convert(name, message[name], kind)
+    if op == "batch" and len(normalised["sources"]) != len(
+        normalised["targets"]
+    ):
+        raise ProtocolError(
+            "bad-request", "'sources' and 'targets' must be aligned"
+        )
+    return normalised
+
+
+# ----------------------------------------------------------------------
+# exception -> typed error mapping
+# ----------------------------------------------------------------------
+def _message_of(error: BaseException) -> str:
+    # KeyError stringifies with quotes around its argument; unwrap.
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
+def classify_exception(error: BaseException) -> Tuple[str, str]:
+    """Map a service-layer exception to ``(error_type, message)``.
+
+    The mapping is what lets the server (and the CLI REPL) answer any
+    service failure with a typed line instead of a traceback:
+    ``KeyError`` is an unknown terrain or POI, ``ValueError`` a bad
+    value (or an update verb on a static terrain), anything touching
+    the filesystem an ``internal`` store failure.
+    """
+    import zipfile
+
+    message = _message_of(error)
+    if isinstance(error, ProtocolError):
+        return error.error_type, error.message
+    if isinstance(error, KeyError):
+        if "terrain id" in message:
+            return "unknown-terrain", message
+        return "unknown-poi", message
+    if isinstance(error, IndexError):
+        return "unknown-poi", message
+    if isinstance(error, ValueError):
+        if "not mutable" in message:
+            return "not-mutable", message
+        return "bad-value", message
+    if isinstance(error, (OSError, zipfile.BadZipFile)):
+        return "internal", f"store error: {message}"
+    return "internal", f"{type(error).__name__}: {message}"
+
+
+def describe_error(error: BaseException) -> str:
+    """One-line typed rendering, e.g. ``error[bad-value]: k must be...``.
+
+    Shared by the CLI REPL so its stderr lines carry the same taxonomy
+    as network error replies.
+    """
+    error_type, message = classify_exception(error)
+    return f"error[{error_type}]: {message}"

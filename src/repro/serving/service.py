@@ -41,7 +41,9 @@ RPC front-end would wrap the same object the same way.
 
 from __future__ import annotations
 
+import functools
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -76,22 +78,36 @@ class TerrainCounters:
     hits: int = 0             # dispatches served by resident tables
     loads: int = 0            # store opens (cold + post-eviction)
     evictions: int = 0        # times this terrain lost residency
+    refreshes: int = 0        # generation re-mmaps (tracked terrains)
     updates: int = 0          # POI inserts + deletes (mutable only)
     flushes: int = 0          # rebuild + repack cycles (mutable only)
+    server_batches: int = 0   # coalesced dispatches (network server)
+    server_batched_queries: int = 0  # point queries they carried
     load_seconds: float = 0.0
     query_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         mean_query = (self.query_seconds / self.batches
                       if self.batches else 0.0)
+        mean_batch = (self.server_batched_queries / self.server_batches
+                      if self.server_batches else 0.0)
+        # Fraction of coalesced point queries that rode along in an
+        # already-dispatched batch instead of paying their own probe.
+        coalesce = (1.0 - self.server_batches / self.server_batched_queries
+                    if self.server_batched_queries else 0.0)
         return {
             "queries": self.queries,
             "batches": self.batches,
             "hits": self.hits,
             "loads": self.loads,
             "evictions": self.evictions,
+            "refreshes": self.refreshes,
             "updates": self.updates,
             "flushes": self.flushes,
+            "server_batches": self.server_batches,
+            "server_batched_queries": self.server_batched_queries,
+            "mean_server_batch": mean_batch,
+            "coalesce_ratio": coalesce,
             "load_seconds": self.load_seconds,
             "query_seconds": self.query_seconds,
             "mean_batch_seconds": mean_query,
@@ -103,6 +119,9 @@ class _Registration:
     path: str
     meta: Dict[str, Any]
     counters: TerrainCounters = field(default_factory=TerrainCounters)
+    #: re-open the store when its on-disk generation changes (used by
+    #: reader workers following a writer's atomic repacks)
+    track_generation: bool = False
 
     @property
     def mutable(self) -> bool:
@@ -130,6 +149,24 @@ class MutableRegistration(_Registration):
         return True
 
 
+def _locked(method):
+    """Serialise a public entry point on the service's re-entrant lock.
+
+    The service is shared between transports (the asyncio server's
+    loop thread, the CLI REPL, test harnesses) and its registry /
+    LRU / counters are plain Python structures — one coarse lock keeps
+    every interleaving equivalent to *some* serial order, which is the
+    contract the concurrency tests pin down.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class OracleService:
     """Batched query dispatch across many registered terrain oracles.
 
@@ -153,11 +190,14 @@ class OracleService:
         self.max_resident = max_resident
         self._registry: Dict[str, _Registration] = {}
         self._resident: "OrderedDict[str, StoredOracle]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # registry
     # ------------------------------------------------------------------
-    def register(self, terrain_id: str, path: str) -> Dict[str, Any]:
+    @_locked
+    def register(self, terrain_id: str, path: str,
+                 track_generation: bool = False) -> Dict[str, Any]:
         """Register a packed store under ``terrain_id``; returns its meta.
 
         Only the store's metadata member is read — the terrain becomes
@@ -165,6 +205,13 @@ class OracleService:
         replaces the path and drops any resident tables for it; a
         mutable registration with unflushed updates refuses to be
         replaced (flush or unregister it first).
+
+        ``track_generation`` makes the registration follow the file
+        across atomic repacks: every access re-checks the store's
+        :func:`~repro.core.store.file_signature` and re-mmaps when a
+        writer has published a new generation (counted as a
+        ``refresh``).  This is the reader half of the multi-worker
+        single-writer story.
         """
         self._refuse_dirty_replacement(terrain_id)
         meta = read_store_meta(path)
@@ -175,12 +222,14 @@ class OracleService:
                 # The terrain lost residency: account it like any
                 # other eviction so loads/evictions reconcile.
                 previous.counters.evictions += 1
-        registration = _Registration(path=str(path), meta=meta)
+        registration = _Registration(path=str(path), meta=meta,
+                                     track_generation=track_generation)
         if previous is not None:
             registration.counters = previous.counters
         self._registry[terrain_id] = registration
         return meta
 
+    @_locked
     def register_mutable(self, terrain_id: str, path: str,
                          engine: GeodesicEngine,
                          rebuild_factor: float = 0.25,
@@ -220,16 +269,19 @@ class OracleService:
                 "flush or unregister it before re-registering"
             )
 
+    @_locked
     def unregister(self, terrain_id: str) -> None:
         """Drop a registration (unflushed overlay updates are lost)."""
         self._registration(terrain_id)
         self._resident.pop(terrain_id, None)
         del self._registry[terrain_id]
 
+    @_locked
     def terrains(self) -> List[str]:
         """Registered terrain ids, registration order."""
         return list(self._registry)
 
+    @_locked
     def describe(self, terrain_id: str) -> Dict[str, Any]:
         """Store metadata of one terrain (no arrays touched)."""
         registration = self._registration(terrain_id)
@@ -257,6 +309,7 @@ class OracleService:
     # ------------------------------------------------------------------
     # residency
     # ------------------------------------------------------------------
+    @_locked
     def oracle(self, terrain_id: str) -> StoredOracle:
         """The resident :class:`StoredOracle`, loading (and possibly
         evicting another terrain) as needed.  Mutable terrains serve
@@ -268,6 +321,16 @@ class OracleService:
                 "its overlay, not a bare StoredOracle"
             )
         stored = self._resident.get(terrain_id)
+        if (stored is not None and registration.track_generation
+                and stored.is_stale()):
+            # A writer published a new store generation (atomic
+            # rename): drop the old maps and fall through to a fresh
+            # open.  In-flight queries on the old maps stay valid —
+            # the mapped inode outlives the rename.
+            del self._resident[terrain_id]
+            registration.meta = read_store_meta(registration.path)
+            registration.counters.refreshes += 1
+            stored = None
         if stored is not None:
             self._resident.move_to_end(terrain_id)
             registration.counters.hits += 1
@@ -283,6 +346,7 @@ class OracleService:
         self._resident[terrain_id] = stored
         return stored
 
+    @_locked
     def resident_terrains(self) -> List[str]:
         """Terrain ids currently resident, least recently used first.
 
@@ -290,6 +354,7 @@ class OracleService:
         """
         return list(self._resident)
 
+    @_locked
     def evict(self, terrain_id: str) -> bool:
         """Drop a terrain's resident tables; True if it was resident.
 
@@ -327,6 +392,7 @@ class OracleService:
         """One ε-approximate distance on one terrain."""
         return float(self.query_batch(terrain_id, [source], [target])[0])
 
+    @_locked
     def query_batch(self, terrain_id: str, sources: Sequence[int],
                     targets: Sequence[int]) -> np.ndarray:
         """Aligned batched distances on one terrain (float64 array)."""
@@ -339,6 +405,7 @@ class OracleService:
         counters.queries += int(result.shape[0])
         return result
 
+    @_locked
     def query_matrix(self, terrain_id: str,
                      pois: Optional[Sequence[int]] = None) -> np.ndarray:
         """All-pairs matrix on one terrain (default: every POI; on a
@@ -355,6 +422,7 @@ class OracleService:
     # ------------------------------------------------------------------
     # proximity queries
     # ------------------------------------------------------------------
+    @_locked
     def k_nearest(self, terrain_id: str, source: int, k: int
                   ) -> List[Tuple[int, float]]:
         """kNN by geodesic distance on one terrain."""
@@ -367,6 +435,7 @@ class OracleService:
                                         index.num_pois,
                                         candidates=candidates))
 
+    @_locked
     def range_query(self, terrain_id: str, source: int, radius: float
                     ) -> List[Tuple[int, float]]:
         """All POIs within a geodesic radius on one terrain."""
@@ -379,6 +448,7 @@ class OracleService:
                                 index.num_pois,
                                 candidates=candidates))
 
+    @_locked
     def reverse_nearest(self, terrain_id: str, source: int) -> List[int]:
         """Monochromatic RNN on one terrain."""
         index, candidates = self._index(terrain_id)
@@ -411,6 +481,7 @@ class OracleService:
             )
         return registration
 
+    @_locked
     def insert_poi(self, terrain_id: str, x: float, y: float) -> int:
         """Insert the surface POI above planar ``(x, y)``; returns its
         stable external id.  The insert lands in the terrain's overlay
@@ -421,6 +492,7 @@ class OracleService:
         registration.dirty = True
         return new_id
 
+    @_locked
     def delete_poi(self, terrain_id: str, poi_id: int) -> None:
         """Tombstone a POI; subsequent queries on it raise
         ``KeyError``.  On-disk state is untouched until
@@ -430,6 +502,7 @@ class OracleService:
         registration.counters.updates += 1
         registration.dirty = True
 
+    @_locked
     def flush(self, terrain_id: str) -> Dict[str, Any]:
         """Persist a mutable terrain: rebuild + repack + re-adopt.
 
@@ -469,9 +542,11 @@ class OracleService:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+    @_locked
     def counters(self, terrain_id: str) -> TerrainCounters:
         return self._registration(terrain_id).counters
 
+    @_locked
     def stats(self) -> Dict[str, Dict[str, Any]]:
         """Per-terrain serving statistics, keyed by terrain id."""
         report = {}

@@ -302,7 +302,7 @@ class TestOracleBatchedAPIs:
         assert oracle.query_many(pairs) == \
             [oracle.query(*pair) for pair in pairs]
 
-    def test_dynamic_query_many(self):
+    def test_dynamic_query_batch(self):
         from repro.core import DynamicSEOracle
         mesh = make_terrain(grid_exponent=3, extent=(80.0, 80.0), seed=6)
         pois = sample_uniform(mesh, 10, seed=6)
@@ -311,7 +311,8 @@ class TestOracleBatchedAPIs:
         fresh = oracle.insert(40.0, 40.0)
         assert oracle.overlay_size == 1  # still an overlay POI
         pairs = [(0, 3), (fresh, 2), (2, fresh), (fresh, fresh), (4, 1)]
-        batched = oracle.query_many(pairs)
-        assert batched == [oracle.query(a, b) for a, b in pairs]
+        batched = oracle.query_batch([a for a, _ in pairs],
+                                     [b for _, b in pairs])
+        assert list(batched) == [oracle.query(a, b) for a, b in pairs]
         with pytest.raises(KeyError):
-            oracle.query_many([(0, 999)])
+            oracle.query_batch([0], [999])

@@ -229,12 +229,15 @@ class TestBatchedQueries:
             for j, b in enumerate(ids):
                 assert matrix[i, j] == oracle.query(int(a), int(b))
 
-    def test_query_many_shim_deprecated_but_identical(self, churned):
+    def test_query_many_shim_removed(self, churned):
+        # The deprecated list-of-pairs shim is gone; query_batch is
+        # the one batched entry point.
         oracle, _ = churned
+        assert not hasattr(oracle, "query_many")
         pairs = [(0, 5), (5, 0), (3, 3)]
-        with pytest.warns(DeprecationWarning):
-            answers = oracle.query_many(pairs)
-        assert answers == [oracle.query(a, b) for a, b in pairs]
+        batched = oracle.query_batch([a for a, _ in pairs],
+                                     [b for _, b in pairs])
+        assert list(batched) == [oracle.query(a, b) for a, b in pairs]
 
     def test_protocol_flags(self, dyn):
         _, _, oracle = dyn

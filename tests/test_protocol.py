@@ -1,0 +1,177 @@
+"""Unit tests for the NDJSON serving protocol (framing, validation,
+error taxonomy) — no sockets involved."""
+
+import json
+import zipfile
+
+import pytest
+
+from repro.serving import protocol
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    classify_exception,
+    decode_line,
+    describe_error,
+    encode,
+    error_response,
+    ok_response,
+    request,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_compact_json_line(self):
+        line = encode({"op": "hello", "v": 1})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line  # compact separators
+        assert json.loads(line) == {"op": "hello", "v": 1}
+
+    def test_roundtrip(self):
+        message = request("query", request_id=7, terrain="alps",
+                          source=1, target=2)
+        assert decode_line(encode(message)) == message
+
+    def test_decode_tolerates_trailing_cr(self):
+        assert decode_line(b'{"op":"hello"}\r\n') == {"op": "hello"}
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_line(b"not json at all\n")
+        assert info.value.error_type == "bad-request"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_line(b"[1, 2, 3]\n")
+        assert info.value.error_type == "bad-request"
+        assert "object" in info.value.message
+
+    def test_request_carries_version(self):
+        assert request("hello")["v"] == PROTOCOL_VERSION
+
+    def test_error_response_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            error_response(None, "no-such-type", "boom")
+
+    def test_ok_response_shape(self):
+        reply = ok_response(3, {"distance": 1.5})
+        assert reply == {"ok": True, "id": 3,
+                         "result": {"distance": 1.5}}
+
+
+class TestValidation:
+    def test_version_mismatch(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"op": "hello", "v": 99})
+        assert info.value.error_type == "unsupported-version"
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"v": PROTOCOL_VERSION})
+        assert info.value.error_type == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"op": "frobnicate"})
+        assert info.value.error_type == "unknown-op"
+        assert "query" in info.value.message  # lists the known verbs
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"op": "query", "terrain": "alps",
+                              "source": 0})
+        assert info.value.error_type == "bad-request"
+        assert "target" in info.value.message
+
+    def test_bool_is_not_an_id(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "query", "terrain": "alps",
+                              "source": True, "target": 1})
+
+    def test_negative_id_rejected(self):
+        # Negative ints would silently alias from the end of the
+        # compiled table; the protocol rejects them up front.
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"op": "query", "terrain": "alps",
+                              "source": -1, "target": 1})
+        assert info.value.error_type == "bad-request"
+
+    def test_id_list_validated_per_item(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "batch", "terrain": "alps",
+                              "sources": [0, -2], "targets": [1, 2]})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "batch", "terrain": "alps",
+                              "sources": [0, 1.5], "targets": [1, 2]})
+
+    def test_batch_alignment(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"op": "batch", "terrain": "alps",
+                              "sources": [0, 1], "targets": [2]})
+        assert "aligned" in info.value.message
+
+    def test_float_field_accepts_int(self):
+        normalised = validate_request({"op": "range", "terrain": "a",
+                                       "source": 0, "radius": 5})
+        assert normalised["radius"] == 5.0
+        assert isinstance(normalised["radius"], float)
+
+    def test_string_field_type(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "describe", "terrain": 7})
+
+    def test_id_echoed_through(self):
+        normalised = validate_request({"op": "terrains", "id": "tag-1"})
+        assert normalised["id"] == "tag-1"
+
+    def test_every_op_has_a_spec(self):
+        for op in protocol.OPS:
+            assert op in ("hello", "terrains", "stats", "describe",
+                          "query", "batch", "knn", "range", "rnn",
+                          "insert", "delete", "flush")
+
+
+class TestClassification:
+    def test_unknown_terrain(self):
+        error = KeyError("unknown terrain id 'alps'; registered: none")
+        assert classify_exception(error)[0] == "unknown-terrain"
+
+    def test_unknown_poi_keyerror(self):
+        error_type, message = classify_exception(KeyError("poi id 999"))
+        assert error_type == "unknown-poi"
+        assert "999" in message and "'" not in message[:1]
+
+    def test_unknown_poi_indexerror(self):
+        assert classify_exception(IndexError("out of range"))[0] \
+            == "unknown-poi"
+
+    def test_not_mutable(self):
+        error = ValueError("terrain 'alps' is not mutable")
+        assert classify_exception(error)[0] == "not-mutable"
+
+    def test_bad_value(self):
+        assert classify_exception(ValueError("k must be positive"))[0] \
+            == "bad-value"
+
+    def test_store_errors_are_internal(self):
+        error_type, message = classify_exception(
+            OSError(2, "No such file or directory"))
+        assert error_type == "internal"
+        assert message.startswith("store error:")
+        assert classify_exception(zipfile.BadZipFile("truncated"))[0] \
+            == "internal"
+
+    def test_protocol_error_passthrough(self):
+        error = ProtocolError("not-writer", "ask worker 0")
+        assert classify_exception(error) == ("not-writer", "ask worker 0")
+
+    def test_unexpected_is_internal_with_type_name(self):
+        error_type, message = classify_exception(RuntimeError("boom"))
+        assert error_type == "internal"
+        assert "RuntimeError" in message
+
+    def test_describe_error_format(self):
+        line = describe_error(ValueError("k must be positive"))
+        assert line == "error[bad-value]: k must be positive"

@@ -1,0 +1,290 @@
+"""Concurrency tests for :class:`OracleService`.
+
+The service promises that concurrent callers see the same answers a
+serial caller would: every public method runs under one re-entrant
+lock, LRU evictions are atomic with the queries that trigger them, and
+mutable updates never tear an in-flight probe.  These tests hammer the
+service from many threads — with a resident budget small enough to
+force constant eviction churn, and with a writer thread mutating a
+terrain mid-flight — then replay every recorded answer serially and
+demand bit-identical results.
+
+Two invariants drive the mutable tests.  While updates stay in the
+overlay (no flush), the mmap'd base tables are untouched, so distances
+between surviving original POIs are *bit-identical* to a serial run.
+A flush rebuilds the base oracle — the approximation may legitimately
+shift by ulps — so flush-under-load is checked as an atomic swap
+instead: every concurrent answer must equal either the pre-flush or
+the post-flush serial value, never a torn in-between.
+"""
+
+import shutil
+import threading
+
+import pytest
+
+from repro.core import SEOracle, pack_oracle
+from repro.geodesic import GeodesicEngine
+from repro.serving import OracleService, ThreadedServer
+from repro.serving.loadgen import OracleClient, sample_pairs
+from repro.terrain import make_terrain, sample_uniform
+
+NUM_POIS = 10
+
+
+def _pack(path, seed):
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=seed)
+    pois = sample_uniform(mesh, NUM_POIS, seed=seed + 1)
+    engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+    oracle = SEOracle(engine, 0.3, seed=seed).build()
+    pack_oracle(oracle, path)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def static_stores(tmp_path_factory):
+    root = tmp_path_factory.mktemp("static")
+    paths = {name: root / f"{name}.store" for name in ("a", "b")}
+    for i, path in enumerate(paths.values()):
+        _pack(path, seed=20 + i)
+    return paths
+
+
+@pytest.fixture(scope="module")
+def pristine_mutable(tmp_path_factory):
+    path = tmp_path_factory.mktemp("mutable") / "pristine.store"
+    engine = _pack(path, seed=29)
+    return path, engine
+
+
+@pytest.fixture()
+def mutable_service(pristine_mutable, tmp_path):
+    """A fresh copy of the mutable store per test — flush repacks the
+    file in place, which would break the next test's fingerprint."""
+    pristine, engine = pristine_mutable
+    path = tmp_path / "m.store"
+    shutil.copyfile(pristine, path)
+    service = OracleService(max_resident=2)
+    service.register_mutable("m", str(path), engine,
+                             rebuild_factor=10.0)
+    return service
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestEvictionChurn:
+    def test_concurrent_queries_under_lru_thrash(self, static_stores):
+        """8 threads alternating between two terrains with room for
+        only one resident: every answer must match serial replay and
+        the load/eviction ledgers must reconcile."""
+        service = OracleService(max_resident=1)
+        service.register("a", str(static_stores["a"]))
+        service.register("b", str(static_stores["b"]))
+
+        pairs = sample_pairs(NUM_POIS, 60, seed=3)
+        records = []
+        lock = threading.Lock()
+        failures = []
+
+        def worker(slot):
+            try:
+                terrain = "a" if slot % 2 == 0 else "b"
+                local = []
+                for i, (s, t) in enumerate(pairs):
+                    # Cross over mid-run so both terrains keep
+                    # evicting each other.
+                    name = terrain if i % 3 else ("b" if terrain == "a"
+                                                  else "a")
+                    local.append((name, s, t,
+                                  service.query(name, s, t)))
+                with lock:
+                    records.extend(local)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        _run_threads([lambda slot=k: worker(slot) for k in range(8)])
+        assert not failures
+
+        # Bit-identical serial replay of every recorded answer.
+        for name, s, t, answer in records:
+            assert service.query(name, s, t) == answer
+
+        total = 8 * len(pairs) + len(records)  # workers + replay
+        stats = service.stats()
+        assert stats["a"]["queries"] + stats["b"]["queries"] == total
+        for name in ("a", "b"):
+            counters = stats[name]
+            assert counters["loads"] >= 1
+            # Residency bookkeeping balances: every load beyond the
+            # ones still resident was matched by an eviction.
+            resident = name in service.resident_terrains()
+            assert (counters["loads"] - counters["evictions"]
+                    == (1 if resident else 0))
+        assert len(service.resident_terrains()) <= 1
+
+    def test_explicit_evict_races_with_queries(self, static_stores):
+        service = OracleService(max_resident=2)
+        service.register("a", str(static_stores["a"]))
+        pairs = sample_pairs(NUM_POIS, 80, seed=9)
+        reference = [service.query("a", s, t) for s, t in pairs]
+        failures = []
+
+        def querier():
+            try:
+                for (s, t), expected in zip(pairs, reference):
+                    assert service.query("a", s, t) == expected
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        def evictor():
+            for _ in range(40):
+                service.evict("a")
+
+        _run_threads([querier, querier, evictor])
+        assert not failures
+
+
+class TestMutableChurn:
+    def test_readers_bit_identical_during_overlay_churn(
+            self, mutable_service):
+        """Reader threads query distances between never-deleted
+        original POIs while a writer inserts and deletes overlay POIs.
+        The base tables never change, so every recorded answer must
+        equal its serial replay after the churn stops."""
+        service = mutable_service
+        stable = list(range(NUM_POIS))  # originals, never deleted
+        pairs = [(s, t) for s in stable[:5] for t in stable[5:]]
+        records = []
+        lock = threading.Lock()
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                local = []
+                while not stop.is_set():
+                    for s, t in pairs:
+                        local.append((s, t, service.query("m", s, t)))
+                with lock:
+                    records.extend(local)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        def writer():
+            try:
+                for round_no in range(3):
+                    fresh = [service.insert_poi("m", 20.0 + 7 * k,
+                                                30.0 + 5 * k + round_no)
+                             for k in range(3)]
+                    for poi in fresh:
+                        assert service.query("m", poi, 0) > 0
+                    for poi in fresh:
+                        service.delete_poi("m", poi)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+            finally:
+                stop.set()
+
+        _run_threads([reader, reader, writer])
+        assert not failures
+        assert records, "readers never got a pass in"
+
+        for s, t, answer in records:
+            assert service.query("m", s, t) == answer
+
+        counters = service.stats()["m"]
+        assert counters["updates"] == 3 * 6  # 3 inserts + 3 deletes, x3
+        assert counters["flushes"] == 0
+
+    def test_flush_under_load_is_an_atomic_swap(self, mutable_service):
+        """A flush rebuilds and atomically republishes the base
+        tables; concurrent readers must only ever see the pre-flush or
+        the post-flush answer for a pair — never a torn in-between,
+        never an error."""
+        service = mutable_service
+        pairs = sample_pairs(NUM_POIS, 40, seed=23)
+        before = {(s, t): service.query("m", s, t) for s, t in pairs}
+        records = []
+        lock = threading.Lock()
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                local = []
+                while not stop.is_set():
+                    for s, t in pairs:
+                        local.append((s, t, service.query("m", s, t)))
+                with lock:
+                    records.extend(local)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        def flusher():
+            try:
+                poi = service.insert_poi("m", 33.0, 44.0)
+                service.delete_poi("m", poi)
+                service.flush("m")
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+            finally:
+                stop.set()
+
+        _run_threads([reader, reader, flusher])
+        assert not failures
+        assert records
+
+        after = {(s, t): service.query("m", s, t) for s, t in pairs}
+        for s, t, answer in records:
+            assert answer in (before[(s, t)], after[(s, t)])
+        assert service.stats()["m"]["flushes"] == 1
+
+    def test_server_batcher_interleaves_with_direct_updates(
+            self, mutable_service):
+        """Async/thread interleaving: the server's event loop coalesces
+        wire queries into batched probes while this thread mutates the
+        same terrain through the service directly."""
+        service = mutable_service
+        stable_pairs = sample_pairs(NUM_POIS, 120, seed=31)
+        reference = {
+            (s, t): service.query("m", s, t) for s, t in stable_pairs
+        }
+
+        with ThreadedServer(service, max_batch=16) as server:
+            failures = []
+
+            def wire_reader():
+                try:
+                    with OracleClient(server.host, server.port) as c:
+                        for s, t in stable_pairs:
+                            assert (c.query("m", s, t)
+                                    == reference[(s, t)])
+                except Exception as error:  # pragma: no cover
+                    failures.append(error)
+
+            def direct_writer():
+                try:
+                    for k in range(4):
+                        poi = service.insert_poi("m", 25.0 + 6 * k,
+                                                 40.0 + 4 * k)
+                        service.delete_poi("m", poi)
+                except Exception as error:  # pragma: no cover
+                    failures.append(error)
+
+            _run_threads([wire_reader, wire_reader, direct_writer])
+            assert not failures
+
+        # Flush after the recorded phase (a rebuild may shift the
+        # approximation by ulps, which is exercised separately above).
+        service.flush("m")
+        counters = service.stats()["m"]
+        assert counters["server_batched_queries"] == 2 * len(stable_pairs)
+        assert counters["updates"] == 8
+        assert counters["flushes"] == 1
