@@ -29,7 +29,10 @@ Examples
     python -m repro pack oracle.json --out oracle.store
     python -m repro query terrain.off oracle.store --pois 50 --store \
         --batch --random 1000
+    python -m repro build terrain.off --pois 50 --tiles 4 \
+        --out tiled.store
     python -m repro serve alps=oracle.store --repl
+    python -m repro serve alps=tiled.store --max-resident-tiles 2 --repl
     python -m repro bench fig8 --scale tiny
 """
 
@@ -80,8 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the build fan-out "
                             "(1 = serial, -1 = one per CPU); parallel "
-                            "builds are bit-identical to serial")
-    build.add_argument("--out", required=True, help="oracle output (.json)")
+                            "builds are bit-identical to serial; with "
+                            "--tiles, parallelism is across tiles")
+    build.add_argument("--tiles", type=int, default=0, metavar="N",
+                       help="shard the terrain into N tiles with "
+                            "per-tile oracles and a packed boundary "
+                            "matrix (writes a v4 tiled .store; queries "
+                            "stay within the oracle's (1+epsilon))")
+    build.add_argument("--out", required=True,
+                       help="oracle output (.json, or .store with "
+                            "--tiles)")
 
     query = commands.add_parser("query", help="query a saved oracle")
     query.add_argument("mesh", help="mesh file the oracle was built on")
@@ -122,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-resident", type=int, default=4,
                        help="LRU bound on simultaneously resident "
                             "compiled tables")
+    serve.add_argument("--max-resident-tiles", type=int, default=None,
+                       metavar="N",
+                       help="tiled stores: LRU bound on simultaneously "
+                            "resident tile shards per terrain (default: "
+                            "all tiles stay resident)")
     serve.add_argument("--mutable", action="append", default=[],
                        metavar="NAME=MESH",
                        help="register NAME (also given as NAME=STORE) as "
@@ -207,6 +223,8 @@ def _workload(mesh_path: str, poi_count: int, poi_seed: int, density: int):
 
 def _cmd_build(args) -> int:
     from .core import SEOracle, save_oracle
+    if args.tiles:
+        return _cmd_build_tiled(args)
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
     started = time.perf_counter()
     oracle = SEOracle(engine, args.epsilon, strategy=args.strategy,
@@ -218,6 +236,40 @@ def _cmd_build(args) -> int:
           f"n={engine.num_pois} "
           f"h={oracle.height} pairs={oracle.num_pairs} "
           f"size={oracle.size_bytes() / 1024:.1f}KB -> {args.out}")
+    return 0
+
+
+def _cmd_build_tiled(args) -> int:
+    """``build --tiles N``: shard, build per tile, pack a tiled store."""
+    import os
+
+    from .core import build_tiled_oracle, pack_tiled
+    from .terrain import read_mesh, sample_uniform
+    if args.tiles < 1:
+        print("error: --tiles must be at least 1", file=sys.stderr)
+        return 2
+    if args.out.endswith(".json"):
+        print("error: tiled oracles pack straight to the v4 binary "
+              "store; use an --out path like oracle.store",
+              file=sys.stderr)
+        return 2
+    mesh = read_mesh(args.mesh)
+    pois = sample_uniform(mesh, args.pois, seed=args.poi_seed)
+    started = time.perf_counter()
+    build = build_tiled_oracle(
+        mesh, pois, args.epsilon, tiles=args.tiles,
+        strategy=args.strategy, seed=args.seed,
+        points_per_edge=args.density, jobs=args.jobs)
+    elapsed = time.perf_counter() - started
+    pack_tiled(build, args.out)
+    tiles = build.meta["tiles"]
+    print(f"built {tiles['count']} tiles in {elapsed:.2f}s "
+          f"[x{build.meta['build']['jobs']}]: "
+          f"n={tiles['pois']} portals={tiles['portals']} "
+          f"h={build.meta['stats']['height']} "
+          f"pairs={build.meta['stats']['pairs_stored']} "
+          f"size={os.path.getsize(args.out) / 1024:.1f}KB "
+          f"-> {args.out}")
     return 0
 
 
@@ -338,7 +390,7 @@ def _cmd_pack(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serving import OracleService
+    from .serving import OracleService, TerrainSpec
     service = OracleService(max_resident=args.max_resident)
     import zipfile
     mutable_meshes = {}
@@ -362,11 +414,13 @@ def _cmd_serve(args) -> int:
                 mutable_paths[name] = mutable_meshes.pop(name)
                 engine = _workload(mutable_paths[name], args.pois,
                                    args.poi_seed, args.density)
-                meta = service.register_mutable(
-                    name, path, engine,
-                    rebuild_factor=args.rebuild_factor)
+                meta = service.register(name, TerrainSpec(
+                    path, mutable=True, engine=engine,
+                    rebuild_factor=args.rebuild_factor))
             else:
-                meta = service.register(name, path)
+                meta = service.register(name, TerrainSpec(
+                    path,
+                    max_resident_tiles=args.max_resident_tiles))
         except (OSError, ValueError, zipfile.BadZipFile) as error:
             print(f"error: cannot register {name}: {error}",
                   file=sys.stderr)
@@ -400,7 +454,8 @@ def _cmd_serve(args) -> int:
                      for name, mesh_path in mutable_paths.items()},
             host=args.host, port=args.port, workers=args.workers,
             max_batch=args.max_batch, linger_us=args.linger_us,
-            max_resident=args.max_resident)
+            max_resident=args.max_resident,
+            max_resident_tiles=args.max_resident_tiles)
         # Single-worker mode reuses the service registered above
         # instead of rebuilding mutable workloads a second time.
         return run_workers(

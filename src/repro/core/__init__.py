@@ -29,6 +29,7 @@ from .parallel import (
     MultiprocessExecutor,
     SerialExecutor,
     make_executor,
+    map_jobs,
 )
 from .partition_tree import (
     PartitionTree,
@@ -36,7 +37,21 @@ from .partition_tree import (
     build_partition_tree,
 )
 from .serialize import load_oracle, save_oracle, workload_fingerprint
-from .store import StoredOracle, open_oracle, pack_document, pack_oracle
+from .store import (
+    StoredOracle,
+    open_oracle,
+    oracle_sections,
+    pack_document,
+    pack_oracle,
+)
+from .tiled import (
+    TiledBuild,
+    TiledOracle,
+    build_tiled_oracle,
+    open_tiled_oracle,
+    pack_tiled,
+    plan_tiles,
+)
 
 __all__ = [
     "SEOracle",
@@ -57,7 +72,14 @@ __all__ = [
     "pack_oracle",
     "pack_document",
     "open_oracle",
+    "oracle_sections",
     "StoredOracle",
+    "TiledBuild",
+    "TiledOracle",
+    "build_tiled_oracle",
+    "open_tiled_oracle",
+    "pack_tiled",
+    "plan_tiles",
     "PartitionTree",
     "PartitionTreeNode",
     "build_partition_tree",
@@ -74,4 +96,5 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "make_executor",
+    "map_jobs",
 ]

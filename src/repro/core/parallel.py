@@ -47,6 +47,7 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "make_executor",
+    "map_jobs",
 ]
 
 #: One SSAD work unit: ``(poi index, radius)`` where ``radius=None``
@@ -261,6 +262,32 @@ class MultiprocessExecutor(BuildExecutor):
 
     def map_pair_distances(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
         return self._map_chunked(_run_pair_chunk, list(pairs))
+
+
+def map_jobs(worker_fn, items: Sequence, jobs: Optional[int] = 1) -> list:
+    """Run ``worker_fn`` over ``items`` with the ``--jobs N`` convention.
+
+    The coarse-grained sibling of :class:`MultiprocessExecutor`: each
+    item is one self-contained picklable work unit (e.g. a whole tile
+    build) rather than an SSAD chunk against a shared engine snapshot,
+    so no pool initializer / snapshot shipping is involved.  Results
+    are collected strictly in submission order, which keeps parallel
+    runs output-identical to serial ones; ``jobs`` resolves exactly as
+    in :func:`make_executor` (``<= 1`` serial, negative one per CPU).
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = 1
+    jobs = int(jobs)
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, len(items)) if items else 1
+    if jobs <= 1:
+        return [worker_fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=_default_context()) as pool:
+        futures = [pool.submit(worker_fn, item) for item in items]
+        return [future.result() for future in futures]
 
 
 def make_executor(jobs: Optional[int] = 1) -> BuildExecutor:

@@ -76,7 +76,7 @@ from .node_pairs import NodePairSet
 from .oracle import SEOracle
 
 __all__ = ["pack_oracle", "pack_document", "open_oracle", "StoredOracle",
-           "STORE_VERSION", "file_signature"]
+           "STORE_VERSION", "file_signature", "oracle_sections"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -162,6 +162,24 @@ def _meta_document(*, epsilon: float, strategy: str, method: str,
     }
 
 
+def oracle_sections(oracle: SEOracle) -> Dict[str, np.ndarray]:
+    """A built oracle's complete v4 section set (compiling it if that
+    has not happened yet): tree tables, compiled chains, frozen hash.
+
+    Shared by :func:`pack_oracle` (one section set per store) and the
+    tiled builder (one section set per tile, prefixed).
+    """
+    if not oracle.is_built:
+        raise ValueError("cannot pack an unbuilt oracle")
+    compiled = oracle.compiled()
+    sections = _tree_sections(oracle.tree)
+    sections["chains"] = compiled.chains
+    frozen = oracle.pair_hash.frozen_arrays()
+    for section, name in _HASH_SECTIONS.items():
+        sections[section] = frozen[name]
+    return sections
+
+
 def pack_oracle(oracle: SEOracle, path: PathLike) -> None:
     """Write a built oracle as a format-v4 binary store.
 
@@ -169,15 +187,8 @@ def pack_oracle(oracle: SEOracle, path: PathLike) -> None:
     not happened yet — packing is the natural one-time cost point, so
     an :func:`open_oracle` load never pays it.
     """
-    if not oracle.is_built:
-        raise ValueError("cannot pack an unbuilt oracle")
     from .serialize import workload_fingerprint
-    compiled = oracle.compiled()
-    sections = _tree_sections(oracle.tree)
-    sections["chains"] = compiled.chains
-    frozen = oracle.pair_hash.frozen_arrays()
-    for section, name in _HASH_SECTIONS.items():
-        sections[section] = frozen[name]
+    sections = oracle_sections(oracle)
     meta = _meta_document(
         epsilon=oracle.epsilon, strategy=oracle.strategy,
         method=oracle.method, seed=oracle.seed,
@@ -290,9 +301,12 @@ def read_store(path: PathLike, mmap: bool = True
                     with archive.open(info.filename) as member:
                         sections[name] = np.lib.format.read_array(
                             member, allow_pickle=False)
-    missing = [name for name in _REQUIRED_SECTIONS if name not in sections]
-    if missing:
-        raise ValueError(f"{path}: store is missing sections {missing}")
+    if "tiles" not in meta:  # tiled stores keep sections per tile
+        missing = [name for name in _REQUIRED_SECTIONS
+                   if name not in sections]
+        if missing:
+            raise ValueError(
+                f"{path}: store is missing sections {missing}")
     return meta, sections
 
 
@@ -499,13 +513,20 @@ class StoredOracle:
 
 
 def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
-                strict: bool = True, mmap: bool = True) -> StoredOracle:
+                strict: bool = True, mmap: bool = True,
+                max_resident_tiles: Optional[int] = None):
     """Open a v4 store with memory-mapped query tables.
+
+    Returns a :class:`StoredOracle` — or, when the store's meta
+    carries a tile directory (``python -m repro build --tiles``), a
+    :class:`~repro.core.tiled.TiledOracle` whose tile tables page
+    lazily.  Both serve the ``DistanceIndex`` protocol.
 
     Parameters
     ----------
     path:
-        File written by :func:`pack_oracle` / :func:`pack_document`.
+        File written by :func:`pack_oracle` / :func:`pack_document` /
+        :func:`~repro.core.tiled.pack_tiled`.
     engine:
         Optional workload to validate against (``strict``).  Serving
         processes that trust their terrain registry pass ``None`` and
@@ -517,9 +538,19 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
         Map sections read-only straight off disk (default).  ``False``
         reads copies instead — only useful when the file will be
         replaced while open.
+    max_resident_tiles:
+        Tiled stores only: bound on concurrently resident tile tables
+        (``None``: unbounded).  Ignored for monolithic stores.
     """
     started = time.perf_counter()
     signature = file_signature(path)
+    if "tiles" in read_store_meta(path):
+        from .tiled import open_tiled_oracle
+        stored = open_tiled_oracle(
+            path, mmap=mmap, max_resident_tiles=max_resident_tiles)
+        if engine is not None and strict:
+            stored.check_fingerprint(engine)
+        return stored
     meta, sections = read_store(path, mmap=mmap)
     pair_hash = PerfectHashMap.from_frozen(
         sections["pair_keys"], sections["pair_distances"],

@@ -1,0 +1,853 @@
+"""Tiled terrain sharding: per-tile SE oracles + boundary stitching.
+
+Every build path so far constructs **one** partition tree over the
+whole POI set — fine for city-sized terrains, an Amdahl ceiling for
+country-sized ones (the cover passes are inherently sequential, see
+:mod:`~repro.core.parallel`).  This module shards the *terrain*
+instead of the distance work:
+
+1. :func:`plan_tiles` cuts the mesh into ``T`` spatial tiles by
+   recursive median bisection over face centroids — every face belongs
+   to exactly one tile, tiles share only boundary vertices/edges.
+2. :func:`build_tiled_oracle` builds one independent SE oracle per
+   tile (``jobs=N`` fans whole tile builds across processes via
+   :func:`~repro.core.parallel.map_jobs`, sidestepping the sequential
+   partition tree entirely) and precomputes one dense **boundary
+   matrix**: graph-exact distances between every pair of *portals*.
+3. :class:`TiledOracle` serves the ``DistanceIndex`` protocol over the
+   shards: intra-tile queries route to the owning tile's
+   :class:`~repro.core.compiled.CompiledOracle`; cross-tile queries
+   stitch ``d̂(s, b₁) + B[b₁, b₂] + d̂(b₂, t)`` minimised over the two
+   tiles' portal sets with a chunked vectorised min-plus product.
+
+Portals — why the stitch is within (1 ± ε)
+------------------------------------------
+A *portal* is a geodesic-graph node lying on the tile cut: a mesh
+vertex whose incident faces span ≥ 2 tiles, or a Steiner point on a
+*cut edge* (a mesh edge whose incident faces span ≥ 2 tiles).  Every
+graph edge lies within one face's boundary clique, and every face
+belongs to exactly one tile — so any path that leaves a tile passes
+through a portal.  Each tile's oracle includes its portals as extra
+sites (attached at the *exact* node position, so they alias the
+tile-local node), and the boundary matrix ``B`` holds full-graph
+Dijkstra distances.  Splitting the true path at its first-exit /
+last-entry portals and bounding each leg gives
+
+    (1 − ε)·d(s, t) ≤ min stitch ≤ (1 + ε)·d(s, t).
+
+Because the true geodesic between two same-tile POIs may still leave
+and re-enter the tile, intra-tile answers are
+``min(direct, same-tile stitch)`` — pruned by each POI's precomputed
+*escape distance* (its oracle distance to the nearest portal): when
+``direct ≤ escape[s] + escape[t]`` no stitch can be shorter, and the
+prune is exact (bit-identical to the unpruned minimum).
+
+Determinism and paging
+----------------------
+Tile extraction is order-preserving (faces ascending, vertices via
+``np.unique``), so Steiner placement inside a tile reproduces the
+full-mesh positions bitwise, a single-tile build is **bit-identical**
+to the monolithic oracle, and parallel tile builds are bit-identical
+to serial ones.  At query time only the per-tile query tables (chains
++ frozen hash) page through an internal LRU (``max_resident_tiles``);
+the stitch consumes tile A's probe matrix *before* touching tile B, so
+a one-tile budget serves cross-tile batches correctly — and, the
+arithmetic being independent of residency, bit-identically to an
+all-resident run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..datastructures.perfect_hash import PerfectHashMap
+from ..geodesic.engine import GeodesicEngine
+from ..terrain.mesh import TriangleMesh
+from ..terrain.poi import POI, POISet
+from .compiled import CompiledOracle
+from .index import DistanceIndexMixin, aligned_id_arrays
+from .oracle import SEOracle
+from .parallel import map_jobs
+from .store import (
+    _FORMAT_NAME,
+    _HASH_SECTIONS,
+    _mmap_member,
+    _read_meta_member,
+    _write_store,
+    STORE_VERSION,
+    file_signature,
+)
+
+__all__ = [
+    "plan_tiles",
+    "build_tiled_oracle",
+    "pack_tiled",
+    "open_tiled_oracle",
+    "TiledBuild",
+    "TiledOracle",
+]
+
+#: The sections a tile needs resident to answer queries (everything
+#: else — trees, portal maps, escapes — is small and always loaded).
+_TILE_QUERY_SECTIONS = ("chains",) + tuple(_HASH_SECTIONS)
+
+#: Row chunk of the min-plus stitch: bounds the (chunk, Pa, Pb)
+#: broadcast intermediate without changing any result bit.
+_STITCH_CHUNK = 128
+
+
+def _tile_prefix(tile: int) -> str:
+    return f"tiles/{tile:04d}/"
+
+
+def _position_key(position: Sequence[float]) -> Tuple[float, ...]:
+    """The 9-decimal rounding key :class:`POISet` dedups on.
+
+    Portals are pre-deduped against owned POIs with the same key, so a
+    POI sitting exactly on a boundary vertex maps onto the portal's
+    tile-local site instead of silently shifting every later index."""
+    return tuple(round(float(c), 9) for c in position)
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def plan_tiles(mesh: TriangleMesh, tiles: int) -> np.ndarray:
+    """Assign every face to one of ``tiles`` spatial tiles.
+
+    Recursive median bisection over face centroids: split the face set
+    along its longer planar (xy) axis with a stable argsort, sized
+    proportionally when ``tiles`` is odd.  Purely deterministic —
+    identical meshes plan identical tilings on every platform.
+    Returns an int64 array of length ``mesh.num_faces``.
+    """
+    tiles = int(tiles)
+    if tiles < 1:
+        raise ValueError("tiles must be >= 1")
+    if tiles > mesh.num_faces:
+        raise ValueError(
+            f"cannot cut {mesh.num_faces} faces into {tiles} tiles")
+    centroids = mesh.vertices[mesh.faces].mean(axis=1)[:, :2]
+    face_tile = np.empty(mesh.num_faces, dtype=np.int64)
+
+    def split(face_ids: np.ndarray, count: int, first: int) -> None:
+        if count == 1:
+            face_tile[face_ids] = first
+            return
+        left = count // 2
+        points = centroids[face_ids]
+        spans = points.max(axis=0) - points.min(axis=0)
+        axis = 0 if spans[0] >= spans[1] else 1
+        order = np.argsort(points[:, axis], kind="stable")
+        take = (len(face_ids) * left) // count
+        take = max(left, min(take, len(face_ids) - (count - left)))
+        split(face_ids[order[:take]], left, first)
+        split(face_ids[order[take:]], count - left, first + left)
+
+    split(np.arange(mesh.num_faces), tiles, 0)
+    return face_tile
+
+
+# ----------------------------------------------------------------------
+# portals
+# ----------------------------------------------------------------------
+@dataclass
+class _Portal:
+    """One cut-crossing node: full-graph id, exact position, the mesh
+    vertex it aliases (``None`` for Steiner portals) and, per adjacent
+    tile, one global face of that tile it sits on."""
+
+    node: int
+    position: Tuple[float, ...]
+    vertex: Optional[int]
+    faces: Dict[int, int]
+
+
+def _find_portals(mesh: TriangleMesh, graph,
+                  face_tile: np.ndarray) -> List[_Portal]:
+    portals: List[_Portal] = []
+    for vertex, faces in enumerate(mesh.vertex_faces):
+        tiles_of: Dict[int, int] = {}
+        for face in faces:
+            tiles_of.setdefault(int(face_tile[face]), int(face))
+        if len(tiles_of) < 2:
+            continue
+        portals.append(_Portal(
+            node=int(vertex),
+            position=tuple(float(c) for c in mesh.vertices[vertex]),
+            vertex=int(vertex), faces=tiles_of))
+    for edge in mesh.edges:  # sorted -> deterministic portal order
+        tiles_of = {}
+        for face in mesh.edge_faces[edge]:
+            tiles_of.setdefault(int(face_tile[face]), int(face))
+        if len(tiles_of) < 2:
+            continue
+        for node in graph.edge_steiner_nodes(*edge):
+            portals.append(_Portal(
+                node=int(node),
+                position=tuple(float(c) for c in graph.position(node)),
+                vertex=None, faces=tiles_of))
+    portals.sort(key=lambda portal: portal.node)
+    return portals
+
+
+def _boundary_matrix(engine: GeodesicEngine,
+                     portal_nodes: Sequence[int]) -> np.ndarray:
+    """Full-graph portal×portal distances (one Dijkstra per portal).
+
+    Computed on the *complete* engine, so cut-straddling legs are
+    graph-exact; POI sites cannot shorten these paths (a site's edges
+    stay inside one face's clique, where the direct edge is never
+    longer by the triangle inequality).  Symmetric by construction —
+    only the upper triangle is searched.
+    """
+    count = len(portal_nodes)
+    matrix = np.zeros((count, count), dtype=np.float64)
+    for row in range(count - 1):
+        later = list(portal_nodes[row + 1:])
+        found = engine.distances_from_node(
+            portal_nodes[row], targets=later).distances
+        for offset, target in enumerate(later):
+            distance = found.get(target, np.inf)
+            matrix[row, row + 1 + offset] = distance
+            matrix[row + 1 + offset, row] = distance
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# per-tile build (worker side)
+# ----------------------------------------------------------------------
+def _build_tile(workload: Dict[str, Any]
+                ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Build one tile's oracle from a self-contained picklable
+    workload; runs in a worker process under :func:`map_jobs`."""
+    from .store import oracle_sections
+    mesh = TriangleMesh(workload["vertices"], workload["faces"])
+    pois = POISet([
+        POI(index=i, position=tuple(position), face_id=face,
+            vertex_id=vertex)
+        for i, (position, face, vertex)
+        in enumerate(workload["sites"])
+    ])
+    if len(pois) != len(workload["sites"]):
+        raise RuntimeError(
+            f"tile {workload['tile']}: site dedup shifted local ids")
+    engine = GeodesicEngine(mesh, pois,
+                            points_per_edge=workload["density"])
+    oracle = SEOracle(engine, workload["epsilon"],
+                      strategy=workload["strategy"],
+                      method=workload["method"],
+                      seed=workload["seed"]).build()
+    sections = oracle_sections(oracle)
+    portal_local = workload["portal_local"]
+    count = len(pois)
+    if portal_local.size:
+        compiled = oracle.compiled()
+        probes = compiled.query_batch(
+            np.repeat(np.arange(count), portal_local.size),
+            np.tile(portal_local, count),
+        ).reshape(count, portal_local.size)
+        escape = np.ascontiguousarray(probes.min(axis=1))
+    else:
+        escape = np.full(count, np.inf)
+    sections["escape"] = escape
+    stats = {
+        "pois": int(workload["owned"]),
+        "sites": count,
+        "portals": int(portal_local.size),
+        "pairs": oracle.stats.pairs_stored,
+        "height": oracle.stats.height,
+        "root_radius": oracle.tree.root_radius,
+        "faces": int(workload["faces"].shape[0]),
+        "vertices": int(workload["vertices"].shape[0]),
+        "seconds": oracle.stats.total_seconds,
+    }
+    return sections, stats
+
+
+def _tile_workloads(mesh: TriangleMesh, pois: POISet,
+                    face_tile: np.ndarray, portals: List[_Portal],
+                    num_tiles: int, params: Dict[str, Any]):
+    """Cut the build into one picklable workload per tile.
+
+    Extraction is order-preserving — faces ascending, vertices via
+    ``np.unique`` — so ``u < v`` globally implies ``u < v`` locally
+    and the tile's Steiner placement reproduces the full-mesh
+    positions bitwise.  Owned POIs come first (local ids ``0 ..
+    owned-1`` = the global POIs of the tile, ascending), then the
+    tile's non-coinciding portals in global portal order.
+    """
+    faces = np.asarray(mesh.faces)
+    owner = np.array([int(face_tile[poi.face_id]) for poi in pois],
+                     dtype=np.int64)
+    local = np.full(len(pois), -1, dtype=np.int64)
+    workloads = []
+    portal_locals: List[np.ndarray] = []
+    portal_globals: List[np.ndarray] = []
+    for tile in range(num_tiles):
+        face_ids = np.flatnonzero(face_tile == tile)
+        tile_faces = faces[face_ids]
+        vert_ids = np.unique(tile_faces)
+        local_faces = np.searchsorted(vert_ids, tile_faces)
+        vertex_map = {int(v): i for i, v in enumerate(vert_ids)}
+        face_map = {int(f): i for i, f in enumerate(face_ids)}
+        sites: List[Tuple[Tuple[float, ...], int, Optional[int]]] = []
+        key_to_local: Dict[Tuple[float, ...], int] = {}
+        for index in np.flatnonzero(owner == tile):
+            poi = pois[int(index)]
+            rank = len(sites)
+            local[index] = rank
+            vertex = (None if poi.vertex_id is None
+                      else vertex_map[int(poi.vertex_id)])
+            sites.append((tuple(poi.position),
+                          face_map[int(poi.face_id)], vertex))
+            key_to_local[_position_key(poi.position)] = rank
+        tile_portal_local: List[int] = []
+        tile_portal_global: List[int] = []
+        for g, portal in enumerate(portals):
+            if tile not in portal.faces:
+                continue
+            key = _position_key(portal.position)
+            rank = key_to_local.get(key)
+            if rank is None:
+                rank = len(sites)
+                vertex = (None if portal.vertex is None
+                          else vertex_map[portal.vertex])
+                sites.append((portal.position,
+                              face_map[portal.faces[tile]], vertex))
+                key_to_local[key] = rank
+            tile_portal_local.append(rank)
+            tile_portal_global.append(g)
+        if not sites:
+            raise ValueError(
+                f"tile {tile} has no POIs and no portals; use fewer "
+                "tiles or place a POI in every region")
+        portal_locals.append(np.asarray(tile_portal_local,
+                                        dtype=np.int64))
+        portal_globals.append(np.asarray(tile_portal_global,
+                                         dtype=np.int64))
+        workloads.append({
+            "tile": tile,
+            "vertices": np.ascontiguousarray(mesh.vertices[vert_ids]),
+            "faces": np.ascontiguousarray(local_faces.astype(np.int64)),
+            "sites": sites,
+            "owned": int(np.count_nonzero(owner == tile)),
+            "portal_local": portal_locals[-1],
+            **params,
+        })
+    return workloads, owner, local, portal_locals, portal_globals
+
+
+# ----------------------------------------------------------------------
+# build entry point
+# ----------------------------------------------------------------------
+@dataclass
+class TiledBuild:
+    """An in-memory tiled build: meta + routing arrays + per-tile
+    sections (escape included).  :meth:`oracle` serves it directly;
+    :func:`pack_tiled` writes it as one v4 store."""
+
+    meta: Dict[str, Any]
+    owner: np.ndarray
+    local: np.ndarray
+    boundary: np.ndarray
+    portal_local: List[np.ndarray]
+    portal_global: List[np.ndarray]
+    sections: List[Dict[str, np.ndarray]]
+
+    def oracle(self, max_resident_tiles: Optional[int] = None
+               ) -> "TiledOracle":
+        sections = self.sections
+
+        def loader(tile: int) -> Dict[str, np.ndarray]:
+            return {name: sections[tile][name]
+                    for name in _TILE_QUERY_SECTIONS}
+
+        return TiledOracle(
+            meta=self.meta, owner=self.owner, local=self.local,
+            boundary=self.boundary, portal_local=self.portal_local,
+            portal_global=self.portal_global,
+            escape=[tile["escape"] for tile in sections],
+            loader=loader, max_resident_tiles=max_resident_tiles)
+
+
+def build_tiled_oracle(mesh: TriangleMesh, pois: POISet,
+                       epsilon: float, *, tiles: int,
+                       strategy: str = "random",
+                       method: str = "efficient", seed: int = 0,
+                       points_per_edge: int = 1,
+                       jobs: Optional[int] = 1) -> TiledBuild:
+    """Shard ``mesh`` into ``tiles`` tiles and build one SE oracle per
+    tile (every tile uses the same ``seed``), plus the portal boundary
+    matrix.  ``jobs`` parallelises *across tiles* — whole independent
+    builds per worker, no sequential-tree bottleneck — and is
+    bit-identical to a serial build.
+    """
+    started = time.perf_counter()
+    face_tile = plan_tiles(mesh, tiles)
+    num_tiles = int(face_tile.max()) + 1 if face_tile.size else 1
+    engine = GeodesicEngine(mesh, pois, points_per_edge=points_per_edge)
+    portals = _find_portals(mesh, engine.graph, face_tile)
+    params = {"epsilon": float(epsilon), "strategy": strategy,
+              "method": method, "seed": int(seed),
+              "density": int(points_per_edge)}
+    workloads, owner, local, portal_locals, portal_globals = \
+        _tile_workloads(mesh, pois, face_tile, portals, num_tiles,
+                        params)
+    results = map_jobs(_build_tile, workloads, jobs=jobs)
+    boundary = _boundary_matrix(
+        engine, [portal.node for portal in portals])
+    from .serialize import workload_fingerprint
+    tile_stats = [stats for _, stats in results]
+    height = max(stats["height"] for stats in tile_stats)
+    meta = {
+        "format": _FORMAT_NAME,
+        "version": STORE_VERSION,
+        "epsilon": float(epsilon),
+        "strategy": strategy,
+        "method": method,
+        "seed": int(seed),
+        "fingerprint": workload_fingerprint(engine),
+        "build": {"executor": "tiled", "jobs": int(jobs or 1)},
+        # Aggregates, so every meta consumer (CLI prints, describe)
+        # keeps working: height is the max tile height, pairs the sum.
+        "stats": {
+            "height": height,
+            "pairs_stored": sum(s["pairs"] for s in tile_stats),
+            "total_seconds": time.perf_counter() - started,
+        },
+        "tree": {
+            "root_id": -1,
+            "height": height,
+            "root_radius": max(s["root_radius"] for s in tile_stats),
+        },
+        "tiles": {
+            "count": num_tiles,
+            "portals": len(portals),
+            "density": int(points_per_edge),
+            "pois": len(pois),
+            "tile": tile_stats,
+        },
+    }
+    return TiledBuild(
+        meta=meta, owner=owner, local=local, boundary=boundary,
+        portal_local=portal_locals, portal_global=portal_globals,
+        sections=[sections for sections, _ in results])
+
+
+# ----------------------------------------------------------------------
+# store glue
+# ----------------------------------------------------------------------
+def pack_tiled(build: TiledBuild, path) -> None:
+    """Write a :class:`TiledBuild` as one v4 store.
+
+    Same container as :func:`~repro.core.store.pack_oracle` — an
+    uncompressed npz-style zip — with each tile its own section set
+    under ``tiles/NNNN/`` plus three global routing sections; the tile
+    directory lives under the ``"tiles"`` key of ``meta.json``.
+    """
+    sections: Dict[str, np.ndarray] = {
+        "tiles/owner": build.owner,
+        "tiles/local": build.local,
+        "tiles/boundary": build.boundary,
+    }
+    for tile, tile_sections in enumerate(build.sections):
+        prefix = _tile_prefix(tile)
+        for name, array in tile_sections.items():
+            sections[prefix + name] = array
+        sections[prefix + "portal_local"] = build.portal_local[tile]
+        sections[prefix + "portal_global"] = build.portal_global[tile]
+    _write_store(path, build.meta, sections)
+
+
+def open_tiled_oracle(path, mmap: bool = True,
+                      max_resident_tiles: Optional[int] = None
+                      ) -> "TiledOracle":
+    """Open a tiled store with *lazily paged* tile tables.
+
+    Only the small routing arrays (owner/local maps, portal maps,
+    escapes — plus the mmap'd boundary matrix) are touched up front;
+    each tile's query tables are mapped on first use and page through
+    the oracle's internal LRU.  Prefer :func:`~repro.core.store.
+    open_oracle`, which dispatches here on the meta tile directory.
+    """
+    started = time.perf_counter()
+    signature = file_signature(path)
+    with open(path, "rb") as handle:
+        with zipfile.ZipFile(handle) as archive:
+            meta = _read_meta_member(archive, path)
+            if "tiles" not in meta:
+                raise ValueError(f"{path}: not a tiled oracle store")
+            count = int(meta["tiles"]["count"])
+            infos = {info.filename: info
+                     for info in archive.infolist()
+                     if info.filename.endswith(".npy")}
+
+            def read(name: str, copy: bool = False) -> np.ndarray:
+                info = infos[name + ".npy"]
+                if mmap and not copy:
+                    return _mmap_member(path, handle, info)
+                with archive.open(info.filename) as member:
+                    return np.lib.format.read_array(
+                        member, allow_pickle=False)
+
+            owner = read("tiles/owner")
+            local = read("tiles/local")
+            boundary = read("tiles/boundary")
+            portal_local = []
+            portal_global = []
+            escape = []
+            tile_infos = []
+            for tile in range(count):
+                prefix = _tile_prefix(tile)
+                portal_local.append(
+                    read(prefix + "portal_local", copy=True))
+                portal_global.append(
+                    read(prefix + "portal_global", copy=True))
+                escape.append(read(prefix + "escape", copy=True))
+                tile_infos.append({
+                    name: infos[prefix + name + ".npy"]
+                    for name in _TILE_QUERY_SECTIONS})
+
+    def loader(tile: int) -> Dict[str, np.ndarray]:
+        sections: Dict[str, np.ndarray] = {}
+        if mmap:
+            with open(path, "rb") as handle:
+                for name, info in tile_infos[tile].items():
+                    sections[name] = _mmap_member(path, handle, info)
+        else:
+            with zipfile.ZipFile(path) as archive:
+                for name, info in tile_infos[tile].items():
+                    with archive.open(info.filename) as member:
+                        sections[name] = np.lib.format.read_array(
+                            member, allow_pickle=False)
+        return sections
+
+    oracle = TiledOracle(
+        meta=meta, owner=owner, local=local, boundary=boundary,
+        portal_local=portal_local, portal_global=portal_global,
+        escape=escape, loader=loader, path=os.fspath(path),
+        max_resident_tiles=max_resident_tiles,
+        stat_signature=signature)
+    oracle.load_seconds = time.perf_counter() - started
+    return oracle
+
+
+# ----------------------------------------------------------------------
+# the tiled index
+# ----------------------------------------------------------------------
+def _min_plus(left: np.ndarray, middle: np.ndarray,
+              right: np.ndarray) -> np.ndarray:
+    """Row-wise stitch minimum ``min_{j,k}(left[i,j] + middle[j,k] +
+    right[i,k])``, chunked over rows so the broadcast intermediate
+    stays bounded.  Chunking never changes a bit of the result."""
+    rows = left.shape[0]
+    out = np.empty(rows, dtype=np.float64)
+    for start in range(0, rows, _STITCH_CHUNK):
+        stop = min(start + _STITCH_CHUNK, rows)
+        through = (left[start:stop, :, None]
+                   + middle[None, :, :]).min(axis=1)
+        out[start:stop] = (through + right[start:stop]).min(axis=1)
+    return out
+
+
+class _ResidentTile:
+    __slots__ = ("compiled", "nbytes")
+
+    def __init__(self, compiled: CompiledOracle, nbytes: int):
+        self.compiled = compiled
+        self.nbytes = nbytes
+
+
+class TiledOracle(DistanceIndexMixin):
+    """``DistanceIndex`` over tile shards with LRU tile paging.
+
+    Global POI ids are the build POI set's indices; the routing arrays
+    map each id to its owning tile and tile-local site id.  Per-tile
+    query tables (chains + frozen hash) load lazily through
+    ``loader`` and at most ``max_resident_tiles`` stay resident
+    (``None``: unbounded); loads, evictions and hits are counted per
+    tile for the serving layer's ``stats``.
+
+    Thread-safe: one re-entrant lock serialises paging and queries, so
+    an eviction can never tear an in-flight batch.  Results are
+    independent of the residency bound (and of eviction timing) — the
+    stitch arithmetic only ever touches one tile's tables at a time.
+    """
+
+    def __init__(self, *, meta: Dict[str, Any], owner, local, boundary,
+                 portal_local: Sequence, portal_global: Sequence,
+                 escape: Sequence,
+                 loader: Callable[[int], Dict[str, np.ndarray]],
+                 path: Optional[str] = None,
+                 max_resident_tiles: Optional[int] = None,
+                 stat_signature=None):
+        self.meta = meta
+        self.path = path
+        self.epsilon = float(meta["epsilon"])
+        self.strategy = meta.get("strategy", "random")
+        self.method = meta.get("method", "efficient")
+        self.seed = int(meta["seed"])
+        self.fingerprint = meta.get("fingerprint", "")
+        self.build = meta.get("build", {})
+        self.stats = meta.get("stats", {})
+        self.load_seconds = 0.0
+        self.stat_signature = stat_signature
+        self._owner = np.asarray(owner)
+        self._local = np.asarray(local)
+        self._boundary = boundary
+        self._portal_local = [np.asarray(p) for p in portal_local]
+        self._portal_global = [np.asarray(p) for p in portal_global]
+        self._escape = [np.asarray(e) for e in escape]
+        self._loader = loader
+        self._num_tiles = len(self._portal_local)
+        if max_resident_tiles is not None:
+            max_resident_tiles = int(max_resident_tiles)
+            if max_resident_tiles < 1:
+                raise ValueError("max_resident_tiles must be >= 1")
+        self._max_resident_tiles = max_resident_tiles
+        self._resident: "OrderedDict[int, _ResidentTile]" = OrderedDict()
+        self._counters = [
+            {"loads": 0, "evictions": 0, "hits": 0}
+            for _ in range(self._num_tiles)
+        ]
+        self._peak_resident_bytes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # protocol surface
+    # ------------------------------------------------------------------
+    @property
+    def num_pois(self) -> int:
+        return int(self._owner.shape[0])
+
+    @property
+    def num_tiles(self) -> int:
+        return self._num_tiles
+
+    @property
+    def num_portals(self) -> int:
+        return int(self._boundary.shape[0])
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.stats.get("pairs_stored", 0))
+
+    @property
+    def height(self) -> int:
+        return int(self.stats.get("height", 0))
+
+    @property
+    def supports_updates(self) -> bool:
+        return False
+
+    @property
+    def is_compiled(self) -> bool:
+        return True
+
+    @property
+    def max_resident_tiles(self) -> Optional[int]:
+        return self._max_resident_tiles
+
+    def is_stale(self) -> bool:
+        """Same replaced-file semantics as ``StoredOracle.is_stale``."""
+        if self.stat_signature is None or self.path is None:
+            return False
+        current = file_signature(self.path)
+        return current is not None and current != self.stat_signature
+
+    def size_bytes(self) -> int:
+        """On-disk footprint (store-backed) or the routing + resident
+        table bytes (in-memory build)."""
+        if self.path is not None:
+            return os.path.getsize(self.path)
+        routing = (int(np.asarray(self._boundary).nbytes)
+                   + int(self._owner.nbytes) + int(self._local.nbytes)
+                   + sum(int(e.nbytes) for e in self._escape))
+        return routing + self.resident_bytes()
+
+    def check_fingerprint(self, engine: GeodesicEngine) -> None:
+        from .serialize import workload_fingerprint
+        if self.fingerprint != workload_fingerprint(engine):
+            raise ValueError(
+                f"{self.path}: oracle was built for a different "
+                "workload (terrain / POIs / Steiner density mismatch)")
+
+    # ------------------------------------------------------------------
+    # paging
+    # ------------------------------------------------------------------
+    def _tile(self, tile: int) -> CompiledOracle:
+        with self._lock:
+            resident = self._resident.get(tile)
+            counters = self._counters[tile]
+            if resident is not None:
+                self._resident.move_to_end(tile)
+                counters["hits"] += 1
+                return resident.compiled
+            sections = self._loader(tile)
+            pair_hash = PerfectHashMap.from_frozen(
+                sections["pair_keys"], sections["pair_distances"],
+                sections["hash_level1"], sections["hash_level2_a"],
+                sections["hash_level2_shift"],
+                sections["hash_level2_offset"],
+                sections["hash_slots"], seed=self.seed,
+            )
+            compiled = CompiledOracle(sections["chains"], pair_hash,
+                                      self.epsilon)
+            nbytes = sum(int(array.nbytes)
+                         for array in sections.values())
+            counters["loads"] += 1
+            if self._max_resident_tiles is not None:
+                while len(self._resident) >= self._max_resident_tiles:
+                    evicted, _ = self._resident.popitem(last=False)
+                    self._counters[evicted]["evictions"] += 1
+            self._resident[tile] = _ResidentTile(compiled, nbytes)
+            self._peak_resident_bytes = max(
+                self._peak_resident_bytes, self.resident_bytes())
+            return compiled
+
+    def resident_tiles(self) -> List[int]:
+        with self._lock:
+            return list(self._resident)
+
+    def resident_bytes(self) -> int:
+        """Bytes of per-tile query tables currently resident — the
+        deterministic footprint ``max_resident_tiles`` bounds (the
+        process RSS also carries the interpreter, NumPy, and the
+        always-resident routing arrays)."""
+        with self._lock:
+            return sum(entry.nbytes
+                       for entry in self._resident.values())
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        return self._peak_resident_bytes
+
+    def evict_tile(self, tile: int) -> bool:
+        """Drop one tile's tables; a later query transparently
+        reloads them.  Returns whether the tile was resident."""
+        with self._lock:
+            if tile not in self._resident:
+                return False
+            del self._resident[tile]
+            self._counters[tile]["evictions"] += 1
+            return True
+
+    def tile_counters(self) -> Dict[str, Any]:
+        """Paging ledger for ``OracleService.stats``: totals plus the
+        per-tile load/eviction/hit counts and the resident set."""
+        with self._lock:
+            return {
+                "resident": list(self._resident),
+                "loads": sum(c["loads"] for c in self._counters),
+                "evictions": sum(c["evictions"]
+                                 for c in self._counters),
+                "hits": sum(c["hits"] for c in self._counters),
+                "tile": [dict(c) for c in self._counters],
+            }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_batch(self, sources, targets) -> np.ndarray:
+        sources, targets = aligned_id_arrays(sources, targets)
+        out = np.empty(sources.shape[0], dtype=np.float64)
+        if not sources.shape[0]:
+            return out
+        count = self.num_pois
+        for ids in (sources, targets):
+            if int(ids.min()) < 0 or int(ids.max()) >= count:
+                raise IndexError("POI id out of range")
+        with self._lock:
+            tile_s = self._owner[sources]
+            tile_t = self._owner[targets]
+            local_s = self._local[sources]
+            local_t = self._local[targets]
+            # Group rows by (source tile, target tile), sorted — the
+            # sequential tile access pattern an LRU of 1 can serve.
+            group = tile_s * self._num_tiles + tile_t
+            order = np.argsort(group, kind="stable")
+            starts = np.flatnonzero(np.diff(group[order])) + 1
+            for rows in np.split(order, starts):
+                source_tile = int(tile_s[rows[0]])
+                target_tile = int(tile_t[rows[0]])
+                if source_tile == target_tile:
+                    out[rows] = self._intra(
+                        source_tile, local_s[rows], local_t[rows])
+                else:
+                    out[rows] = self._cross(
+                        source_tile, target_tile,
+                        local_s[rows], local_t[rows])
+        return out
+
+    def _portal_probe(self, compiled: CompiledOracle, locals_,
+                      portal_local: np.ndarray) -> np.ndarray:
+        """Distances from every query site to every tile portal, as a
+        (rows, portals) matrix off one batched probe."""
+        rows = locals_.shape[0]
+        width = portal_local.shape[0]
+        return compiled.query_batch(
+            np.repeat(locals_, width),
+            np.tile(portal_local, rows),
+        ).reshape(rows, width)
+
+    def _intra(self, tile: int, local_s, local_t) -> np.ndarray:
+        compiled = self._tile(tile)
+        direct = compiled.query_batch(local_s, local_t)
+        portal_local = self._portal_local[tile]
+        if not portal_local.shape[0]:
+            return direct
+        # Escape prune: any stitch is >= escape[s] + escape[t], so
+        # rows at or under that bound keep the direct answer — the
+        # prune is exact, not approximate.
+        escape = self._escape[tile]
+        need = direct > escape[local_s] + escape[local_t]
+        if not need.any():
+            return direct
+        rows = np.flatnonzero(need)
+        portals = self._portal_global[tile]
+        block = np.asarray(
+            self._boundary[np.ix_(portals, portals)])
+        source_probe = self._portal_probe(
+            compiled, local_s[rows], portal_local)
+        target_probe = self._portal_probe(
+            compiled, local_t[rows], portal_local)
+        stitched = _min_plus(source_probe, block, target_probe)
+        direct[rows] = np.minimum(direct[rows], stitched)
+        return direct
+
+    def _cross(self, source_tile: int, target_tile: int,
+               local_s, local_t) -> np.ndarray:
+        portals_s = self._portal_local[source_tile]
+        portals_t = self._portal_local[target_tile]
+        if not portals_s.shape[0] or not portals_t.shape[0]:
+            # Disconnected tile pair: no portal joins them.
+            return np.full(local_s.shape[0], np.inf)
+        block = np.asarray(self._boundary[np.ix_(
+            self._portal_global[source_tile],
+            self._portal_global[target_tile])])
+        # The source tile is fully consumed before the target tile is
+        # touched, so a one-tile residency budget pages exactly two
+        # loads per (A, B) group — and the answers cannot depend on
+        # what was resident.
+        source_probe = self._portal_probe(
+            self._tile(source_tile), local_s, portals_s)
+        target_probe = self._portal_probe(
+            self._tile(target_tile), local_t, portals_t)
+        return _min_plus(source_probe, block, target_probe)

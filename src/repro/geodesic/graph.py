@@ -199,6 +199,19 @@ class GeodesicGraph:
         """Corner + Steiner nodes on the boundary of ``face_id``."""
         return self._face_boundary[face_id]
 
+    def edge_steiner_nodes(self, u: int, v: int) -> List[int]:
+        """Graph node ids of the Steiner points on mesh edge ``(u, v)``.
+
+        Ordered from the smaller to the larger endpoint (the placement
+        convention); empty when the density is 0 or the edge does not
+        exist.  Used by the tiled builder to promote the Steiner points
+        of a tile-cut edge to portal sites.
+        """
+        key = (int(u), int(v)) if u < v else (int(v), int(u))
+        offset = self._num_vertices
+        return [offset + p
+                for p in self._placement.edge_points.get(key, [])]
+
     def size_bytes(self) -> int:
         """Byte-count model: 8 bytes per node coordinate triple member,
         16 per directed adjacency entry (id + weight)."""

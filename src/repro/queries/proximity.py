@@ -99,20 +99,50 @@ def _distance_row(oracle, source: int, targets: np.ndarray) -> np.ndarray:
                      for target in targets], dtype=np.float64)
 
 
-def _candidate_ids(source: int, num_pois, candidates) -> np.ndarray:
-    """The candidate target ids of a proximity scan (``source`` excluded).
+def _oracle_universe(oracle) -> Optional[np.ndarray]:
+    """The id universe an index itself declares, or ``None`` for the
+    dense ``range(oracle.num_pois)``.
 
-    ``candidates`` is the explicit id universe — the route for indexes
-    whose live ids are sparse (a mutable terrain after deletes), where
-    ``range(num_pois)`` would address tombstoned POIs.  Without it the
-    universe is the dense ``range(num_pois)``.
+    An updatable index (``supports_updates``) may hold sparse live ids
+    after deletes, where ``range(num_pois)`` would address tombstoned
+    POIs — its ``live_ids()`` is the universe.  Everything else is
+    dense.
     """
+    if (getattr(oracle, "supports_updates", False)
+            and hasattr(oracle, "live_ids")):
+        return np.asarray(oracle.live_ids(), dtype=np.intp)
+    return None
+
+
+def _dense_count(oracle, num_pois) -> int:
+    if num_pois is not None:
+        return int(num_pois)
+    count = getattr(oracle, "num_pois", None)
+    if count is None:
+        raise ValueError(
+            "oracle exposes no num_pois; pass num_pois= or candidates=")
+    return int(count)
+
+
+def _candidate_ids(oracle, source: int, num_pois,
+                   candidates) -> np.ndarray:
+    """The candidate target ids of a proximity scan (``source``
+    excluded).
+
+    With neither ``num_pois`` nor ``candidates`` the universe comes
+    from the index itself (:func:`_oracle_universe`) — any
+    :class:`~repro.core.index.DistanceIndex` works unmodified.
+    ``candidates`` still overrides with an explicit id universe, and
+    ``num_pois`` still scopes the dense prefix, for callers that scan
+    a subset of a larger oracle.
+    """
+    if candidates is None and num_pois is None:
+        candidates = _oracle_universe(oracle)
     if candidates is not None:
         ids = np.asarray(candidates, dtype=np.intp)
         return ids[ids != source]
-    if num_pois is None:
-        raise ValueError("either num_pois or candidates is required")
-    return np.array([target for target in range(num_pois)
+    return np.array([target
+                     for target in range(_dense_count(oracle, num_pois))
                      if target != source], dtype=np.intp)
 
 
@@ -138,7 +168,7 @@ def k_nearest_neighbors(oracle, source: int, k: int,
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    targets = _candidate_ids(source, num_pois, candidates)
+    targets = _candidate_ids(oracle, source, num_pois, candidates)
     if k == 0 or targets.size == 0:
         return []
     distances = _distance_row(oracle, source, targets)
@@ -169,7 +199,8 @@ def k_nearest_neighbors_scalar(oracle: DistanceOracleProtocol, source: int,
         raise ValueError("k must be non-negative")
     hits = [
         (distance, int(target))
-        for target in _candidate_ids(source, num_pois, candidates)
+        for target in _candidate_ids(oracle, source, num_pois,
+                                     candidates)
         if math.isfinite(distance := oracle.query(source, int(target)))
     ]
     hits.sort()
@@ -207,7 +238,7 @@ def range_query(oracle, source: int, radius: float,
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    targets = _candidate_ids(source, num_pois, candidates)
+    targets = _candidate_ids(oracle, source, num_pois, candidates)
     if targets.size == 0:
         return []
     distances = _distance_row(oracle, source, targets)
@@ -226,7 +257,8 @@ def range_query_scalar(oracle: DistanceOracleProtocol, source: int,
         raise ValueError("radius must be non-negative")
     hits = [
         (distance, int(target))
-        for target in _candidate_ids(source, num_pois, candidates)
+        for target in _candidate_ids(oracle, source, num_pois,
+                                     candidates)
         if (distance := oracle.query(source, int(target))) <= radius
         and math.isfinite(distance)
     ]
@@ -249,14 +281,18 @@ def reverse_nearest_neighbors(oracle, source: int,
     third POI never disqualifies a candidate.  ``candidates`` scopes
     the whole query to an explicit id universe (candidates *and* the
     disqualifying third POIs — ids outside it do not exist); it must
-    contain ``source``.  The default universe is ``range(num_pois)``
-    — a caller may scope the query to a prefix of a larger oracle, and
-    POIs outside the scope must not act as disqualifying third POIs.
+    contain ``source``.  With neither argument the universe comes from
+    the index itself (:func:`_oracle_universe`, dense
+    ``range(oracle.num_pois)`` otherwise); ``num_pois`` still scopes
+    the query to a dense prefix of a larger oracle, and POIs outside
+    the scope must not act as disqualifying third POIs.
 
     On a batched oracle the whole universe resolves in one
     ``query_matrix`` call (row-wise ``query_batch`` otherwise); plain
     scalar oracles fall back to the probe-per-pair scan.
     """
+    if candidates is None and num_pois is None:
+        candidates = _oracle_universe(oracle)
     if candidates is not None:
         ids = np.asarray(candidates, dtype=np.intp)
         source_pos = np.flatnonzero(ids == source)
@@ -265,9 +301,7 @@ def reverse_nearest_neighbors(oracle, source: int,
                 "candidates must contain the source id exactly once")
         source_pos = int(source_pos[0])
     else:
-        if num_pois is None:
-            raise ValueError("either num_pois or candidates is required")
-        ids = np.arange(num_pois, dtype=np.intp)
+        ids = np.arange(_dense_count(oracle, num_pois), dtype=np.intp)
         source_pos = source
     count = ids.shape[0]
     candidate_pos = np.array([pos for pos in range(count)
@@ -308,12 +342,12 @@ def reverse_nearest_neighbors_scalar(oracle: DistanceOracleProtocol,
                                      candidates: Optional[Sequence[int]]
                                      = None) -> List[int]:
     """Reference implementation of :func:`reverse_nearest_neighbors`."""
+    if candidates is None and num_pois is None:
+        candidates = _oracle_universe(oracle)
     if candidates is not None:
         ids = [int(poi) for poi in candidates]
     else:
-        if num_pois is None:
-            raise ValueError("either num_pois or candidates is required")
-        ids = list(range(num_pois))
+        ids = list(range(_dense_count(oracle, num_pois)))
     result = []
     for candidate in ids:
         if candidate == source:

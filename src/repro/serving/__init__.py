@@ -1,9 +1,11 @@
 """Serving layer: one process, many terrains, batched queries — and a wire.
 
-:class:`OracleService` registers packed oracle stores by terrain id,
-keeps an LRU-bounded set of compiled tables resident, routes batched
-distance and proximity queries per terrain, and exposes per-terrain
-hit/load/latency counters.
+:class:`OracleService` registers packed oracle stores by terrain id —
+every registration is a declarative :class:`TerrainSpec` — keeps an
+LRU-bounded set of compiled tables resident, routes batched distance
+and proximity queries per terrain, and exposes per-terrain
+hit/load/latency counters.  Tiled stores additionally page individual
+tile shards through their own LRU (``TerrainSpec.max_resident_tiles``).
 
 :mod:`~repro.serving.protocol` defines the newline-delimited-JSON wire
 protocol, :mod:`~repro.serving.server` the asyncio TCP front-end with
@@ -21,7 +23,12 @@ from .server import (
     build_service,
     run_workers,
 )
-from .service import MutableRegistration, OracleService, TerrainCounters
+from .service import (
+    MutableRegistration,
+    OracleService,
+    TerrainCounters,
+    TerrainSpec,
+)
 
 __all__ = [
     "MutableRegistration",
@@ -30,6 +37,7 @@ __all__ = [
     "OracleService",
     "ServerConfig",
     "TerrainCounters",
+    "TerrainSpec",
     "ThreadedServer",
     "WorkerFleet",
     "build_service",

@@ -60,7 +60,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from . import protocol
 from .protocol import ProtocolError
-from .service import OracleService
+from .service import OracleService, TerrainSpec
 
 __all__ = [
     "OracleServer",
@@ -99,6 +99,7 @@ class ServerConfig:
     max_batch: int = 64
     linger_us: float = 0.0
     max_resident: int = 4
+    max_resident_tiles: Optional[int] = None
 
 
 def _mutable_engine(spec: MutableSpec):
@@ -122,14 +123,21 @@ def build_service(config: ServerConfig, worker_id: int = 0) -> OracleService:
     for name, path in config.registrations:
         spec = config.mutable.get(name)
         if spec is None:
-            service.register(name, path)
+            service.register(name, TerrainSpec(
+                path,
+                max_resident_tiles=config.max_resident_tiles,
+            ))
         elif worker_id == 0:
-            engine = _mutable_engine(spec)
-            service.register_mutable(
-                name, path, engine, rebuild_factor=spec.rebuild_factor
-            )
+            service.register(name, TerrainSpec(
+                path,
+                mutable=True,
+                engine=_mutable_engine(spec),
+                rebuild_factor=spec.rebuild_factor,
+            ))
         else:
-            service.register(name, path, track_generation=True)
+            service.register(
+                name, TerrainSpec(path, track_generation=True)
+            )
     return service
 
 

@@ -8,6 +8,14 @@ proximity queries to the right compiled tables.
 
 Design
 ------
+* **One registration entry point.**  ``register`` takes a
+  :class:`TerrainSpec` — a frozen declarative description (``path``,
+  ``mutable=``, ``engine=``, ``track_generation=``, ``pin=``,
+  ``max_resident_tiles=``) that the CLI and
+  :class:`~repro.serving.server.ServerConfig` both construct.  The old
+  ``register(id, path, track_generation)`` / ``register_mutable``
+  signatures survive as thin deprecated shims (``DeprecationWarning``;
+  removal planned for the next API-cleanup PR).
 * **Registration is free.**  ``register`` reads only the store's
   ``meta.json`` member (a few hundred bytes) — no array section is
   touched, so a service can register thousands of terrains at startup.
@@ -16,9 +24,18 @@ Design
   recently used is evicted when the bound would be exceeded.  Because
   sections are ``mmap``-ed read-only, eviction just drops references —
   the OS page cache decides what actually leaves memory, and a re-load
-  of a warm store is microseconds.
-* **Mutable terrains.**  ``register_mutable`` pairs a store with its
-  terrain workload and wraps it in a
+  of a warm store is microseconds.  ``pin=True`` keeps a terrain out
+  of the eviction order entirely.
+* **Tiled terrains page at tile granularity.**  A store packed by
+  ``build --tiles`` opens as a
+  :class:`~repro.core.tiled.TiledOracle`: the service-level LRU holds
+  the (small) routing arrays while the oracle's internal LRU pages
+  individual tile tables under ``TerrainSpec.max_resident_tiles``;
+  per-tile load/evict/hit counters surface in :meth:`stats` and
+  :meth:`describe`, so a terrain larger than RAM serves with bounded
+  residency.
+* **Mutable terrains.**  ``TerrainSpec(mutable=True, engine=...)``
+  pairs a store with its terrain workload and wraps it in a
   :class:`~repro.core.dynamic.DynamicSEOracle` overlay
   (:class:`MutableRegistration`): the mmap sections stay read-only and
   shared while inserts/deletes accrue copy-on-write delta state on
@@ -27,7 +44,8 @@ Design
   the store file through :mod:`~repro.core.store`, then re-adopts the
   fresh maps.  Queries route through the same
   :class:`~repro.core.index.DistanceIndex` protocol as static
-  terrains — proximity scans just receive the live external ids.
+  terrains — proximity scans derive the live external ids from the
+  index itself (:mod:`~repro.queries.proximity`).
 * **Counters per terrain.**  Every terrain tracks queries, batches,
   resident-table hits, loads, evictions, updates, flushes, and
   cumulative load/query seconds (:class:`TerrainCounters`), so an
@@ -45,9 +63,10 @@ import functools
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,7 +85,62 @@ from ..queries import (
     reverse_nearest_neighbors,
 )
 
-__all__ = ["OracleService", "TerrainCounters", "MutableRegistration"]
+__all__ = ["OracleService", "TerrainSpec", "TerrainCounters",
+           "MutableRegistration"]
+
+
+@dataclass(frozen=True)
+class TerrainSpec:
+    """Declarative terrain registration: everything
+    :meth:`OracleService.register` needs to know, in one immutable
+    value the CLI, :class:`~repro.serving.server.ServerConfig` and
+    tests all construct the same way.
+
+    Parameters
+    ----------
+    path:
+        The packed store file (monolithic or tiled).
+    mutable:
+        Wrap the store in a :class:`~repro.core.dynamic.
+        DynamicSEOracle` overlay; requires ``engine``.  Mutable
+        terrains are implicitly pinned.  Tiled stores cannot be
+        mutable (each tile's tables are immutable shards).
+    engine:
+        The workload the store was packed for — the surface update
+        SSADs run on.  Mutable registrations only.
+    track_generation:
+        Follow the store file across atomic repacks: accesses
+        re-check the file signature and re-mmap new generations
+        (the reader half of the multi-worker story).
+    pin:
+        Exclude the terrain from LRU eviction once resident.
+    rebuild_factor / jobs:
+        Overlay rebuild knobs (mutable only), as in
+        :meth:`~repro.core.dynamic.DynamicSEOracle.from_store`.
+    max_resident_tiles:
+        Tiled stores: bound on concurrently resident tile tables
+        (``None``: all tiles may stay resident).
+    """
+
+    path: str
+    mutable: bool = False
+    engine: Optional[GeodesicEngine] = None
+    track_generation: bool = False
+    pin: bool = False
+    rebuild_factor: float = 0.25
+    jobs: int = 1
+    max_resident_tiles: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "path", os.fspath(self.path))
+        if self.mutable and self.engine is None:
+            raise ValueError(
+                "TerrainSpec(mutable=True) requires engine= — updates "
+                "need a terrain workload to run SSADs on")
+        if self.mutable and self.track_generation:
+            raise ValueError(
+                "mutable terrains are the writer side; "
+                "track_generation is for reader registrations")
 
 
 @dataclass
@@ -122,6 +196,10 @@ class _Registration:
     #: re-open the store when its on-disk generation changes (used by
     #: reader workers following a writer's atomic repacks)
     track_generation: bool = False
+    #: never evict this terrain once resident
+    pin: bool = False
+    #: tiled stores: residency bound passed through to the tile LRU
+    max_resident_tiles: Optional[int] = None
 
     @property
     def mutable(self) -> bool:
@@ -196,25 +274,49 @@ class OracleService:
     # registry
     # ------------------------------------------------------------------
     @_locked
-    def register(self, terrain_id: str, path: str,
-                 track_generation: bool = False) -> Dict[str, Any]:
-        """Register a packed store under ``terrain_id``; returns its meta.
+    def register(self, terrain_id: str,
+                 spec: Union[TerrainSpec, str, os.PathLike],
+                 track_generation: Optional[bool] = None
+                 ) -> Dict[str, Any]:
+        """Register a terrain from a :class:`TerrainSpec`; returns its
+        store meta.
 
-        Only the store's metadata member is read — the terrain becomes
-        resident lazily, on its first query.  Re-registering an id
-        replaces the path and drops any resident tables for it; a
-        mutable registration with unflushed updates refuses to be
-        replaced (flush or unregister it first).
+        Only the store's metadata member is read for static terrains —
+        the tables become resident lazily, on first query (mutable
+        specs map their base immediately; that *is* the overlay's
+        base).  Re-registering an id replaces the spec and drops any
+        resident tables for it; a mutable registration with unflushed
+        updates refuses to be replaced (flush or unregister it first).
 
-        ``track_generation`` makes the registration follow the file
-        across atomic repacks: every access re-checks the store's
-        :func:`~repro.core.store.file_signature` and re-mmaps when a
-        writer has published a new generation (counted as a
+        ``TerrainSpec.track_generation`` makes the registration follow
+        the file across atomic repacks: every access re-checks the
+        store's :func:`~repro.core.store.file_signature` and re-mmaps
+        when a writer has published a new generation (counted as a
         ``refresh``).  This is the reader half of the multi-worker
         single-writer story.
+
+        .. deprecated:: PR 7
+            ``register(terrain_id, path, track_generation=...)`` with
+            a bare path still works but warns; it will be removed in
+            the next API-cleanup PR.
         """
+        if not isinstance(spec, TerrainSpec):
+            warnings.warn(
+                "register(terrain_id, path, track_generation=...) is "
+                "deprecated; pass register(terrain_id, "
+                "TerrainSpec(path, ...)) — the path form will be "
+                "removed in the next API-cleanup PR",
+                DeprecationWarning, stacklevel=2)
+            spec = TerrainSpec(path=os.fspath(spec),
+                               track_generation=bool(track_generation))
+        elif track_generation is not None:
+            raise TypeError(
+                "track_generation rides inside TerrainSpec; do not "
+                "pass it alongside a spec")
         self._refuse_dirty_replacement(terrain_id)
-        meta = read_store_meta(path)
+        if spec.mutable:
+            return self._register_mutable(terrain_id, spec)
+        meta = read_store_meta(spec.path)
         previous = self._registry.get(terrain_id)
         if terrain_id in self._resident:
             del self._resident[terrain_id]
@@ -222,43 +324,66 @@ class OracleService:
                 # The terrain lost residency: account it like any
                 # other eviction so loads/evictions reconcile.
                 previous.counters.evictions += 1
-        registration = _Registration(path=str(path), meta=meta,
-                                     track_generation=track_generation)
+        registration = _Registration(
+            path=spec.path, meta=meta,
+            track_generation=spec.track_generation, pin=spec.pin,
+            max_resident_tiles=spec.max_resident_tiles)
         if previous is not None:
             registration.counters = previous.counters
         self._registry[terrain_id] = registration
         return meta
 
-    @_locked
-    def register_mutable(self, terrain_id: str, path: str,
-                         engine: GeodesicEngine,
-                         rebuild_factor: float = 0.25,
-                         jobs: int = 1) -> Dict[str, Any]:
-        """Register a store as a *mutable* terrain; returns its meta.
+    def _register_mutable(self, terrain_id: str,
+                          spec: TerrainSpec) -> Dict[str, Any]:
+        """The mutable half of :meth:`register`.
 
-        ``engine`` is the workload the store was packed for (checked
-        via the fingerprint) — it is what gives update operations a
-        surface to run SSADs on, which a bare store cannot provide.
-        The store's sections are mapped read-only immediately and
-        become the overlay's base tables; the terrain is pinned (it
-        never participates in the LRU — evicting it would discard
-        unflushed updates).  As with :meth:`register`, an existing
-        mutable registration with unflushed updates refuses to be
-        replaced.
+        ``spec.engine`` is the workload the store was packed for
+        (checked via the fingerprint) — it is what gives update
+        operations a surface to run SSADs on, which a bare store
+        cannot provide.  The store's sections are mapped read-only
+        immediately and become the overlay's base tables; the terrain
+        is pinned (it never participates in the LRU — evicting it
+        would discard unflushed updates).
         """
-        self._refuse_dirty_replacement(terrain_id)
-        stored = open_oracle(path, engine=engine, strict=True)
+        meta = read_store_meta(spec.path)
+        if "tiles" in meta:
+            raise ValueError(
+                f"{spec.path}: tiled stores cannot be registered "
+                "mutable — tile shards are immutable; rebuild with "
+                "--tiles after editing the POI set")
+        stored = open_oracle(spec.path, engine=spec.engine, strict=True)
         overlay = DynamicSEOracle.from_store(
-            stored, engine, rebuild_factor=rebuild_factor, jobs=jobs)
+            stored, spec.engine, rebuild_factor=spec.rebuild_factor,
+            jobs=spec.jobs)
         ensure_index(overlay)
         previous = self._registry.get(terrain_id)
         self._resident.pop(terrain_id, None)
         registration = MutableRegistration(
-            path=str(path), meta=read_store_meta(path), overlay=overlay)
+            path=spec.path, meta=meta, overlay=overlay, pin=True)
         if previous is not None:
             registration.counters = previous.counters
         self._registry[terrain_id] = registration
         return registration.meta
+
+    def register_mutable(self, terrain_id: str, path: str,
+                         engine: GeodesicEngine,
+                         rebuild_factor: float = 0.25,
+                         jobs: int = 1) -> Dict[str, Any]:
+        """Deprecated shim for the pre-:class:`TerrainSpec` signature.
+
+        .. deprecated:: PR 7
+            Use ``register(terrain_id, TerrainSpec(path, mutable=True,
+            engine=engine, ...))``; this shim will be removed in the
+            next API-cleanup PR.
+        """
+        warnings.warn(
+            "register_mutable is deprecated; use register(terrain_id, "
+            "TerrainSpec(path, mutable=True, engine=engine, ...)) — "
+            "removal planned for the next API-cleanup PR",
+            DeprecationWarning, stacklevel=2)
+        return self.register(terrain_id, TerrainSpec(
+            path=os.fspath(path), mutable=True, engine=engine,
+            rebuild_factor=rebuild_factor, jobs=jobs))
 
     def _refuse_dirty_replacement(self, terrain_id: str) -> None:
         """Re-registration must not silently drop unflushed updates."""
@@ -295,6 +420,9 @@ class OracleService:
             meta["dirty"] = registration.dirty
         else:
             meta["resident"] = terrain_id in self._resident
+            stored = self._resident.get(terrain_id)
+            if stored is not None and hasattr(stored, "tile_counters"):
+                meta["tile_paging"] = stored.tile_counters()
         return meta
 
     def _registration(self, terrain_id: str) -> _Registration:
@@ -335,14 +463,22 @@ class OracleService:
             self._resident.move_to_end(terrain_id)
             registration.counters.hits += 1
             return stored
-        stored = open_oracle(registration.path)
+        stored = open_oracle(
+            registration.path,
+            max_resident_tiles=registration.max_resident_tiles)
         registration.counters.loads += 1
         registration.counters.load_seconds += stored.load_seconds
         while len(self._resident) >= self.max_resident:
-            evicted_id, _ = self._resident.popitem(last=False)
-            evicted = self._registry.get(evicted_id)
-            if evicted is not None:
-                evicted.counters.evictions += 1
+            # Oldest unpinned resident goes first; when everything
+            # resident is pinned the bound is allowed to overshoot
+            # (pins are an operator promise, not a suggestion).
+            victim = next(
+                (resident_id for resident_id in self._resident
+                 if not self._registry[resident_id].pin), None)
+            if victim is None:
+                break
+            del self._resident[victim]
+            self._registry[victim].counters.evictions += 1
         self._resident[terrain_id] = stored
         return stored
 
@@ -359,9 +495,11 @@ class OracleService:
         """Drop a terrain's resident tables; True if it was resident.
 
         Mutable terrains cannot be evicted (their overlay would lose
-        unflushed updates); evicting one returns False.
+        unflushed updates) and pinned terrains refuse too; evicting
+        either returns False.
         """
-        self._registration(terrain_id)
+        if self._registration(terrain_id).pin:
+            return False
         if self._resident.pop(terrain_id, None) is None:
             return False
         self._registry[terrain_id].counters.evictions += 1
@@ -370,20 +508,16 @@ class OracleService:
     # ------------------------------------------------------------------
     # protocol routing
     # ------------------------------------------------------------------
-    def _index(self, terrain_id: str
-               ) -> Tuple[DistanceIndex, Optional[np.ndarray]]:
-        """The terrain's :class:`DistanceIndex` plus its candidate ids.
-
-        Static terrains serve their (possibly freshly loaded) stored
-        oracle with the dense id universe (``None``); mutable terrains
-        serve the overlay with the live external ids — one routing
-        point instead of per-call-site ``isinstance`` dispatch.
-        """
+    def _index(self, terrain_id: str) -> DistanceIndex:
+        """The terrain's :class:`DistanceIndex` — the one routing
+        point.  Static terrains serve their (possibly freshly loaded)
+        stored oracle, mutable terrains their overlay; consumers never
+        branch on the family again — the proximity functions derive
+        the candidate universe from the index itself."""
         registration = self._registration(terrain_id)
         if registration.mutable:
-            overlay = registration.overlay
-            return overlay, overlay.live_ids()
-        return self.oracle(terrain_id), None
+            return registration.overlay
+        return self.oracle(terrain_id)
 
     # ------------------------------------------------------------------
     # queries
@@ -396,7 +530,7 @@ class OracleService:
     def query_batch(self, terrain_id: str, sources: Sequence[int],
                     targets: Sequence[int]) -> np.ndarray:
         """Aligned batched distances on one terrain (float64 array)."""
-        index, _ = self._index(terrain_id)
+        index = self._index(terrain_id)
         counters = self._registry[terrain_id].counters
         started = time.perf_counter()
         result = index.query_batch(sources, targets)
@@ -410,7 +544,7 @@ class OracleService:
                      pois: Optional[Sequence[int]] = None) -> np.ndarray:
         """All-pairs matrix on one terrain (default: every POI; on a
         mutable terrain the default id set is the live ids)."""
-        index, _ = self._index(terrain_id)
+        index = self._index(terrain_id)
         counters = self._registry[terrain_id].counters
         started = time.perf_counter()
         result = index.query_matrix(pois)
@@ -426,39 +560,27 @@ class OracleService:
     def k_nearest(self, terrain_id: str, source: int, k: int
                   ) -> List[Tuple[int, float]]:
         """kNN by geodesic distance on one terrain."""
-        index, candidates = self._index(terrain_id)
-        probes = (candidates.size if candidates is not None
-                  else index.num_pois)
+        index = self._index(terrain_id)
         return self._timed_proximity(
-            terrain_id, probes,
-            lambda: k_nearest_neighbors(index, source, k,
-                                        index.num_pois,
-                                        candidates=candidates))
+            terrain_id, index.num_pois,
+            lambda: k_nearest_neighbors(index, source, k))
 
     @_locked
     def range_query(self, terrain_id: str, source: int, radius: float
                     ) -> List[Tuple[int, float]]:
         """All POIs within a geodesic radius on one terrain."""
-        index, candidates = self._index(terrain_id)
-        probes = (candidates.size if candidates is not None
-                  else index.num_pois)
+        index = self._index(terrain_id)
         return self._timed_proximity(
-            terrain_id, probes,
-            lambda: range_query(index, source, radius,
-                                index.num_pois,
-                                candidates=candidates))
+            terrain_id, index.num_pois,
+            lambda: range_query(index, source, radius))
 
     @_locked
     def reverse_nearest(self, terrain_id: str, source: int) -> List[int]:
         """Monochromatic RNN on one terrain."""
-        index, candidates = self._index(terrain_id)
-        probes = (candidates.size if candidates is not None
-                  else index.num_pois)
+        index = self._index(terrain_id)
         return self._timed_proximity(
-            terrain_id, probes * probes,
-            lambda: reverse_nearest_neighbors(index, source,
-                                              index.num_pois,
-                                              candidates=candidates))
+            terrain_id, index.num_pois * index.num_pois,
+            lambda: reverse_nearest_neighbors(index, source))
 
     def _timed_proximity(self, terrain_id: str, probes: int, run):
         counters = self._registry[terrain_id].counters
@@ -565,5 +687,9 @@ class OracleService:
                 stored = self._resident.get(terrain_id)
                 if stored is not None:
                     entry["num_pois"] = stored.num_pois
+                    if hasattr(stored, "tile_counters"):
+                        # Tiled terrain: the tile-granular ledger the
+                        # oracle's internal LRU keeps.
+                        entry["tiles"] = stored.tile_counters()
             report[terrain_id] = entry
         return report
