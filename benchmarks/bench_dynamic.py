@@ -24,10 +24,25 @@ workload, per scale:
    (applied to the largest scale), which is what lets CI use this as
    a serving-regression smoke gate for mutable terrains.
 
+PR 8 adds the **flush-latency-vs-churn curve**: per ``--flush-scales``
+scale, per churn mix (pure deletes; deletes+inserts) and per
+``--flush-churn`` fraction, two identically-churned oracles fold their
+overlay back into the base — one through the incremental flush
+(cross-rebuild SSAD memo), one through the from-scratch reference
+rebuild — and the sweep records both latencies.  Every point is
+equivalence-gated (the spliced tables must match the reference
+array-for-array), and ``--min-flush-speedup`` demands that the
+incremental path beat the full rebuild on the *delete* mix at every
+churn fraction at or below ``--flush-gate-churn`` (default 5%), on
+every flush scale — see :func:`measure_flush_curve` for why insert
+churn legitimately degrades toward full-rebuild cost.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dynamic.py \
-        --scales tiny medium --min-speedup 5 --out BENCH_dynamic.json
+        --scales tiny medium --min-speedup 5 \
+        --flush-scales small medium --min-flush-speedup 1.0 \
+        --out BENCH_dynamic.json
 """
 
 from __future__ import annotations
@@ -190,6 +205,97 @@ def measure_scale(
     }
 
 
+def _sections_identical(left, right) -> bool:
+    """Array-for-array equality of two built oracles' section sets."""
+    from repro.core.store import oracle_sections
+
+    left_sections = oracle_sections(left)
+    right_sections = oracle_sections(right)
+    if left_sections.keys() != right_sections.keys():
+        return False
+    return all(
+        left_sections[name].dtype == right_sections[name].dtype
+        and np.array_equal(left_sections[name], right_sections[name])
+        for name in left_sections
+    )
+
+
+def _apply_churn(
+    oracle: DynamicSEOracle, touched: int, mix: str, seed: int
+) -> dict:
+    """Touch ``touched`` POIs: ``"delete"`` churn removes them,
+    ``"mixed"`` churn alternates deletes and inserts."""
+    rng = random.Random(seed)
+    mesh = oracle.engine.mesh
+    low, high = mesh.bounding_box()
+    deletes = touched if mix == "delete" else (touched + 1) // 2
+    inserts = touched - deletes
+    for _ in range(deletes):
+        oracle.delete(int(rng.choice(oracle.live_ids()[:-1])))
+    applied = 0
+    while applied < inserts:
+        x = rng.uniform(float(low[0]), float(high[0]))
+        y = rng.uniform(float(low[1]), float(high[1]))
+        if mesh.locate_face(x, y) < 0:
+            continue
+        oracle.insert(x, y)
+        applied += 1
+    return {"inserts": inserts, "deletes": deletes}
+
+
+def measure_flush_curve(
+    scale: str, churn_fractions: list, density: int, seed: int
+) -> list:
+    """Incremental vs full flush latency per churn fraction and mix.
+
+    Both oracles receive the identical seeded churn; the incremental
+    flush replays the memo, the reference does a from-scratch rebuild,
+    and the point only counts if the resulting tables are
+    array-for-array identical.  Two churn mixes are swept because they
+    stress opposite ends of the memo: *deletes* are metrically inert
+    (sites detach without moving any surviving distance), so almost
+    every row replays; *inserts* land inside the wide ``l * r`` radii
+    of the shallow enhanced-edge rows — exactly the expensive SSADs —
+    so reuse degrades toward a full rebuild.  The speedup gate is
+    applied to the delete mix (the sublinear case the design targets);
+    the mixed curve is reported alongside to document the insert cost
+    honestly.
+    """
+    points = []
+    for mix in ("delete", "mixed"):
+        for fraction in churn_fractions:
+            incremental = build_dynamic(scale, density, seed)
+            reference = build_dynamic(scale, density, seed)
+            touched = max(1, round(fraction * incremental.num_pois))
+            churn = _apply_churn(incremental, touched, mix, seed + 3)
+            _apply_churn(reference, touched, mix, seed + 3)
+
+            tick = time.perf_counter()
+            stats = incremental.flush()
+            incremental_seconds = time.perf_counter() - tick
+            tick = time.perf_counter()
+            reference.flush(incremental=False)
+            full_seconds = time.perf_counter() - tick
+
+            points.append({
+                "scale": scale,
+                "mix": mix,
+                "churn_fraction": fraction,
+                "touched": touched,
+                "inserts": churn["inserts"],
+                "deletes": churn["deletes"],
+                "incremental_seconds": incremental_seconds,
+                "full_seconds": full_seconds,
+                "flush_speedup": full_seconds / incremental_seconds
+                if incremental_seconds > 0 else float("inf"),
+                "reused_rows": stats["reused_rows"],
+                "computed_rows": stats["computed_rows"],
+                "equivalent": _sections_identical(incremental.oracle,
+                                                  reference.oracle),
+            })
+    return points
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -220,6 +326,35 @@ def main(argv=None) -> int:
         help="fail unless the largest scale's batch/scalar speedup is "
         "at least this",
     )
+    parser.add_argument(
+        "--flush-scales",
+        nargs="*",
+        default=["small", "medium"],
+        choices=sorted(SCALES),
+        help="scales for the flush-latency-vs-churn curve "
+        "(pass no values to skip the sweep)",
+    )
+    parser.add_argument(
+        "--flush-churn",
+        nargs="+",
+        type=float,
+        default=[0.01, 0.05, 0.20],
+        help="churn fractions (touched POIs / terrain POIs) to sweep",
+    )
+    parser.add_argument(
+        "--min-flush-speedup",
+        type=float,
+        default=None,
+        help="fail unless incremental flush beats full rebuild by at "
+        "least this factor on the delete-churn mix at every fraction "
+        "at or below --flush-gate-churn, on every flush scale",
+    )
+    parser.add_argument(
+        "--flush-gate-churn",
+        type=float,
+        default=0.05,
+        help="largest churn fraction the flush-speedup gate applies to",
+    )
     parser.add_argument("--out", default=None, help="JSON report path")
     args = parser.parse_args(argv)
 
@@ -248,8 +383,38 @@ def main(argv=None) -> int:
             f"x{run['speedup']:5.1f}  {verdict}"
         )
 
-    equivalent = all(run["equivalent"] for run in runs)
+    flush_curve = []
+    for scale in args.flush_scales:
+        points = measure_flush_curve(
+            scale, args.flush_churn, args.density, args.seed
+        )
+        flush_curve.extend(points)
+        for point in points:
+            verdict = (
+                "ok" if point["equivalent"]
+                else "EQUIVALENCE BROKEN: spliced tables diverge"
+            )
+            print(
+                f"flush {scale:7s} {point['mix']:6s} churn "
+                f"{point['churn_fraction']:4.0%} "
+                f"({point['touched']:2d} touched)  "
+                f"incremental {point['incremental_seconds'] * 1e3:7.1f} ms  "
+                f"full {point['full_seconds'] * 1e3:7.1f} ms  "
+                f"x{point['flush_speedup']:4.1f}  "
+                f"reuse {point['reused_rows']}/"
+                f"{point['reused_rows'] + point['computed_rows']}  "
+                f"{verdict}"
+            )
+
+    equivalent = all(run["equivalent"] for run in runs) and all(
+        point["equivalent"] for point in flush_curve
+    )
     final_speedup = runs[-1]["speedup"]
+    gated_points = [
+        point for point in flush_curve
+        if point["mix"] == "delete"
+        and point["churn_fraction"] <= args.flush_gate_churn
+    ]
     report = {
         "benchmark": "bench_dynamic",
         "queries": args.queries,
@@ -264,7 +429,10 @@ def main(argv=None) -> int:
         "equivalent": equivalent,
         "min_speedup_required": args.min_speedup,
         "final_speedup": final_speedup,
+        "min_flush_speedup_required": args.min_flush_speedup,
+        "flush_gate_churn": args.flush_gate_churn,
         "runs": runs,
+        "flush_curve": flush_curve,
     }
     if args.out:
         with open(args.out, "w") as handle:
@@ -281,6 +449,17 @@ def main(argv=None) -> int:
             f"x{args.min_speedup:.1f}"
         )
         return 1
+    if args.min_flush_speedup is not None:
+        for point in gated_points:
+            if point["flush_speedup"] < args.min_flush_speedup:
+                print(
+                    f"FAILED: incremental flush x"
+                    f"{point['flush_speedup']:.2f} below required x"
+                    f"{args.min_flush_speedup:.2f} at "
+                    f"{point['churn_fraction']:.0%} churn on "
+                    f"{point['scale']}"
+                )
+                return 1
     return 0
 
 

@@ -37,13 +37,24 @@ External POI ids are stable across rebuilds.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+import threading
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..geodesic.engine import GeodesicEngine
 from ..terrain.mesh import TriangleMesh
 from ..terrain.poi import POI, POISet
+from .incremental import FlushAborted, FlushMemo, SliceGate
 from .index import aligned_id_arrays
 from .oracle import SEOracle
 
@@ -123,6 +134,11 @@ class DynamicSEOracle:
         self._base_slot = np.zeros(0, dtype=np.int64)
         self._delta_rows: Dict[int, np.ndarray] = {}
         self._overlay_cache: Dict[Tuple[int, int], float] = {}
+        # Cross-rebuild SSAD memo (see :mod:`~repro.core.incremental`):
+        # every rebuild recaptures it; an incremental flush replays it.
+        self._memo = FlushMemo()
+        #: row reuse/recompute counts of the most recent rebuild
+        self.last_flush_stats: Dict[str, int] = {}
         self._built = False
 
     # ------------------------------------------------------------------
@@ -173,21 +189,74 @@ class DynamicSEOracle:
         dynamic._built = True
         return dynamic
 
-    def _rebuild(self) -> None:
-        active_ids = [
+    def _active_ids(self) -> List[int]:
+        return [
             i for i in sorted(self._records) if i not in self._deleted
         ]
+
+    def _insert_blocked_radius(self) -> Dict[int, float]:
+        """Per base POI: distance of its nearest *inserted* (overlay)
+        POI — the memo's row-invalidation data.
+
+        Read straight off the overlay delta rows (one multi-target
+        SSAD per inserted POI, usually already memoised by queries):
+        a cached SSAD row of source ``c`` with bound ``r`` is only
+        replayable when every inserted POI is farther than ``r`` from
+        ``c``, since the fresh row would otherwise contain it.
+        """
+        blocked: Dict[int, float] = {}
+        for inserted in sorted(self._overlay):
+            row = self._ensure_delta_row(inserted)
+            for external, slot in self._base_index.items():
+                distance = float(row[slot])
+                nearest = blocked.get(external)
+                if nearest is None or distance < nearest:
+                    blocked[external] = distance
+        return blocked
+
+    def _build_fresh(self, reuse: bool, gate: Optional[SliceGate] = None
+                     ) -> Tuple[List[int], GeodesicEngine, SEOracle, Any]:
+        """Build a fresh base over the active set, without installing.
+
+        The deterministic replay: construction runs the exact pipeline
+        a from-scratch build would run, through the memo executor —
+        with ``reuse`` the memo substitutes rows that are provably
+        bit-equal to fresh ones, without it every row recomputes (and
+        is captured all the same).  No ``self`` state is mutated, so a
+        sliced background flush can interleave with readers and only
+        :meth:`_install_fresh` needs the caller's lock.
+        """
+        active_ids = self._active_ids()
         if not active_ids:
             raise ValueError("cannot build over zero active POIs")
+        blocked: Dict[int, float] = {}
+        if reuse and self._overlay and self._memo.rows:
+            blocked = self._insert_blocked_radius()
+        cache = self._memo.begin(active_ids, blocked_radius=blocked,
+                                 allow_reuse=reuse, gate=gate)
         base_pois = POISet([self._records[i] for i in active_ids])
         if len(base_pois) != len(active_ids):
             raise RuntimeError("active POIs collided after dedup")
-        self._engine = GeodesicEngine(
+        engine = GeodesicEngine(
             self._mesh, base_pois, points_per_edge=self._points_per_edge
         )
-        self._oracle = SEOracle(
-            self._engine, self.epsilon, seed=self._seed, jobs=self.jobs
+        oracle = SEOracle(
+            engine, self.epsilon, seed=self._seed, jobs=self.jobs,
+            ssad_cache=cache,
         ).build()
+        return active_ids, engine, oracle, cache
+
+    def _install_fresh(self, active_ids: List[int],
+                       engine: GeodesicEngine, oracle: SEOracle,
+                       cache: Any) -> None:
+        """Adopt a freshly built base; the only state-mutating half."""
+        if active_ids != self._active_ids():
+            raise RuntimeError(
+                "POI set changed while an incremental flush was in "
+                "flight; rerun the flush"
+            )
+        self._engine = engine
+        self._oracle = oracle
         self._compiled = None  # recompiled lazily, on the first batch
         self._base_index = {
             external: i for i, external in enumerate(active_ids)
@@ -199,7 +268,12 @@ class DynamicSEOracle:
             self._records.pop(dead, None)
         self._deleted = set()
         self._reset_delta()
+        self._memo.commit(cache)
+        self.last_flush_stats = cache.stats()
         self.rebuild_count += 1
+
+    def _rebuild(self, reuse: bool = False) -> None:
+        self._install_fresh(*self._build_fresh(reuse))
 
     def _reset_delta(self) -> None:
         """Rebuild the alive mask / base-slot map; drop delta tables."""
@@ -214,14 +288,90 @@ class DynamicSEOracle:
         self._overlay_cache = {}
 
     def force_rebuild(self) -> None:
-        """Rebuild the base oracle over the active set now.
+        """Rebuild the base oracle from scratch — the reference path.
 
-        The amortised trigger calls this automatically; the serving
-        layer calls it from ``flush`` so the repacked store matches the
-        live POI set exactly.
+        Every SSAD recomputes on the fresh engine; the incremental
+        :meth:`flush` must produce bit-identical tables to this, which
+        is exactly what the rebuild-equivalence fuzz wall asserts.
+        (The build still recaptures the memo, so a later incremental
+        flush starts from this generation.)
         """
         self._require_built()
-        self._rebuild()
+        self._rebuild(reuse=False)
+
+    def flush(self, incremental: bool = True) -> Dict[str, int]:
+        """Fold the overlay and tombstones into a fresh base.
+
+        With ``incremental=True`` (default) the rebuild replays the
+        cross-rebuild SSAD memo: only rows damaged by the churn — and
+        the splice bookkeeping around them — are recomputed, making
+        flush cost proportional to the damage rather than the terrain.
+        The resulting tables are bit-identical to
+        :meth:`force_rebuild` on the same live POI set.  With
+        ``incremental=False`` this *is* a ``force_rebuild``.  Returns
+        the reuse/recompute counters of the run.
+        """
+        self._require_built()
+        self._rebuild(reuse=incremental)
+        return dict(self.last_flush_stats)
+
+    def flush_steps(self, incremental: bool = True,
+                    slice_ssads: int = 8) -> Iterator[Dict[str, Any]]:
+        """:meth:`flush`, delivered as bounded work slices.
+
+        A generator: each ``next()`` performs at most ``slice_ssads``
+        SSAD computations of the rebuild and then returns control, so
+        a serving layer can interleave queries between slices (run
+        each slice under its lock, answer readers between slices) and
+        publish one generation at the end.  The final slice installs
+        the fresh base — until then every query keeps answering from
+        the pre-flush state.  The POI set must not change while the
+        generator is being driven (the install re-checks and raises).
+
+        The rebuild itself runs on a private worker thread that is
+        parked at a gate between slices; abandoning the generator
+        aborts the worker cleanly.
+        """
+        self._require_built()
+        if slice_ssads < 1:
+            raise ValueError("slice_ssads must be at least 1")
+        gate = SliceGate(slice_ssads)
+        outcome: Dict[str, Any] = {}
+
+        def worker() -> None:
+            try:
+                gate.pause(0)  # wait for the first slice grant
+                outcome["result"] = self._build_fresh(
+                    reuse=incremental, gate=gate)
+            except FlushAborted:
+                pass
+            except BaseException as error:  # propagated to the driver
+                outcome["error"] = error
+            finally:
+                gate.finish()
+
+        thread = threading.Thread(
+            target=worker, name="se-flush-builder", daemon=True)
+        thread.start()
+        slice_number = 0
+        try:
+            while not gate.run_slice():
+                if "error" in outcome:
+                    break
+                slice_number += 1
+                yield {"slice": slice_number, "done": False}
+            thread.join()
+            if "error" in outcome:
+                raise outcome["error"]
+            self._install_fresh(*outcome["result"])
+            yield {
+                "slice": slice_number + 1,
+                "done": True,
+                **self.last_flush_stats,
+            }
+        finally:
+            gate.abort()
+            thread.join(timeout=60.0)
 
     def adopt_store(self, stored: "StoredOracle") -> None:
         """Swap the base tables for a freshly packed store's (mmap).
@@ -382,7 +532,10 @@ class DynamicSEOracle:
     def _maybe_rebuild(self) -> None:
         pending = len(self._overlay) + len(self._deleted)
         if pending > self.rebuild_factor * max(self.num_active, 1):
-            self._rebuild()
+            # Amortised rebuilds ride the same incremental machinery as
+            # an explicit flush: bit-identical to a from-scratch build,
+            # but only churn-damaged SSAD rows recompute.
+            self._rebuild(reuse=True)
 
     # ------------------------------------------------------------------
     # the delta tables

@@ -1,0 +1,339 @@
+"""Cross-rebuild SSAD memoisation — the sublinear incremental flush.
+
+``DynamicSEOracle.flush`` used to be a synonym for ``force_rebuild``:
+every flush reconstructed the whole oracle, making maintenance cost
+proportional to the terrain instead of to the damage (the Berkholz et
+al. update-time/query-time trade-off this repo keeps citing).  This
+module makes the rebuild a *deterministic replay*: an incremental
+flush runs the exact construction pipeline a fresh build would run —
+same partition tree, same enhanced edges, same node pairs, same hash
+seeds — but substitutes memoised SSAD rows wherever the cached row is
+provably bit-equal to what a fresh computation would return.  The
+output tables are therefore bit-identical to ``force_rebuild`` *by
+construction* (the fuzz wall in ``tests/test_incremental_flush.py``
+checks it array-for-array), while the dominant cost — the SSAD bulk,
+around 80% of build time — shrinks to the rows the churn actually
+damaged.
+
+Why a memoised row is safe to splice
+------------------------------------
+POI sites are *metrically inert*:
+:meth:`~repro.geodesic.graph.GeodesicGraph.attach_site` connects a
+site only to its face's boundary clique (plus same-face sites), and
+every boundary pair already has a direct edge no longer than any
+two-hop path through the site — so adding or removing sites never
+changes the shortest-path distance between surviving graph nodes.  A
+row computed from source ``c`` on the previous build's engine stays
+exact, entry for entry, on the rebuilt engine — *unless* the churn put
+a new POI inside the row's search radius, in which case the fresh row
+would contain an entry the memo cannot supply.  Invalidation is
+exactly that test, run against the overlay's delta rows (distances
+from each inserted POI to every previous base POI, already computed
+for queries) with a small conservative relative slack; rows computed
+in cover-all mode (no radius bound) are invalidated by *any* insert.
+
+Rows are keyed in **external-id** space — the stable identity that
+survives rebuild renumbering — and re-slotted into the new build's
+dense POI ids on reuse; entries whose target was deleted simply drop
+out during the remap.  Every rebuild (memoised or not) recaptures the
+memo wholesale, so the memo always describes exactly one generation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .parallel import BuildExecutor
+
+__all__ = ["FlushMemo", "MemoExecutor", "SliceGate", "FlushAborted"]
+
+#: Conservative relative slack on the insert-inside-radius test: a row
+#: is only reused when every inserted POI is *clearly* outside its
+#: search radius, so float noise near the boundary always recomputes.
+_SLACK = 1e-9
+
+#: One memo key: ``(source external id, radius bound)`` with ``None``
+#: meaning cover-all mode.  The bound is the exact float the build
+#: passes to the engine, so a changed root radius misses cleanly.
+_RowKey = Tuple[int, Optional[float]]
+
+
+class FlushAborted(RuntimeError):
+    """Raised inside an abandoned sliced flush's builder thread."""
+
+
+class SliceGate:
+    """Cooperative pause points between bounded slices of flush work.
+
+    The builder thread calls :meth:`pause` after each unit of SSAD
+    work and blocks whenever its allowance is spent; the driving
+    generator calls :meth:`run_slice` to grant one budget's worth of
+    work and regain control once the builder stalls (or finishes).
+    :meth:`abort` unblocks an abandoned builder with
+    :class:`FlushAborted`.
+    """
+
+    def __init__(self, budget: int):
+        if budget < 1:
+            raise ValueError("slice budget must be at least 1")
+        self.budget = int(budget)
+        self._cv = threading.Condition()
+        self._allowance = 0
+        self._paused = False
+        self._finished = False
+        self._aborted = False
+
+    # -- builder side ---------------------------------------------------
+    def pause(self, cost: int = 1) -> None:
+        """Charge ``cost`` work units; block once the allowance is spent."""
+        with self._cv:
+            self._allowance -= cost
+            while self._allowance <= 0 and not self._aborted:
+                self._paused = True
+                self._cv.notify_all()
+                self._cv.wait()
+            self._paused = False
+            if self._aborted:
+                raise FlushAborted("sliced flush abandoned by its driver")
+
+    def finish(self) -> None:
+        with self._cv:
+            self._finished = True
+            self._cv.notify_all()
+
+    # -- driver side ----------------------------------------------------
+    def run_slice(self) -> bool:
+        """Grant one budget; returns True once the builder has finished."""
+        with self._cv:
+            if self._finished:
+                return True
+            self._allowance = self.budget
+            self._paused = False
+            self._cv.notify_all()
+            while not self._paused and not self._finished:
+                self._cv.wait()
+            return self._finished
+
+    def abort(self) -> None:
+        with self._cv:
+            self._aborted = True
+            self._cv.notify_all()
+
+
+class FlushMemo:
+    """One generation of SSAD rows, keyed by stable external ids.
+
+    Owned by a :class:`~repro.core.dynamic.DynamicSEOracle`;
+    :meth:`begin` binds it to one rebuild (producing the
+    :class:`MemoExecutor` the build pipeline runs through) and
+    :meth:`commit` adopts that rebuild's captured rows as the next
+    generation.
+    """
+
+    def __init__(self):
+        #: (source ext, bound) -> {target ext: distance}
+        self.rows: Dict[_RowKey, Dict[int, float]] = {}
+        #: sorted (ext, ext) -> early-exit pair distance (naive method)
+        self.pairs: Dict[Tuple[int, int], float] = {}
+        #: external ids that were base POIs when ``rows`` was captured
+        self.members: frozenset = frozenset()
+
+    def begin(self, active_ids: Sequence[int],
+              blocked_radius: Optional[Dict[int, float]] = None,
+              allow_reuse: bool = True,
+              gate: Optional[SliceGate] = None) -> "MemoExecutor":
+        """Bind the memo to one rebuild over ``active_ids``.
+
+        ``blocked_radius`` maps a previous-generation member external
+        id to the distance of its nearest *inserted* POI — the
+        invalidation data; omit it (or pass ``allow_reuse=False``) to
+        disable reuse while still capturing the build's rows.
+        """
+        return MemoExecutor(self, list(active_ids),
+                            blocked_radius or {}, allow_reuse, gate)
+
+    def commit(self, executor: "MemoExecutor") -> None:
+        """Adopt one finished rebuild's rows as the new generation."""
+        self.rows = executor.captured_rows
+        self.pairs = executor.captured_pairs
+        self.members = frozenset(executor.active_ids)
+
+
+class MemoExecutor(BuildExecutor):
+    """A :class:`BuildExecutor` wrapper that replays memoised rows.
+
+    Wraps the rebuild's real executor (bound by ``bind``): every SSAD
+    task first consults the memo — a valid hit is re-slotted from
+    external ids into the new build's dense ids and returned without
+    touching the engine — and misses are computed through the inner
+    executor, then captured in external-id space for the *next*
+    generation.  ``name``/``jobs`` mirror the inner executor so build
+    stats and store metadata stay byte-comparable between memoised and
+    from-scratch builds.
+    """
+
+    def __init__(self, memo: FlushMemo, active_ids: List[int],
+                 blocked_radius: Dict[int, float], allow_reuse: bool,
+                 gate: Optional[SliceGate]):
+        self._memo = memo
+        self.active_ids = active_ids
+        self._ext_of = active_ids                    # new slot -> ext
+        self._slot_of = {ext: slot
+                         for slot, ext in enumerate(active_ids)}
+        self._blocked = blocked_radius
+        self._inserted = [ext for ext in active_ids
+                          if ext not in memo.members]
+        self._allow_reuse = allow_reuse
+        self._gate = gate
+        self._inner: Optional[BuildExecutor] = None
+        self.captured_rows: Dict[_RowKey, Dict[int, float]] = {}
+        self.captured_pairs: Dict[Tuple[int, int], float] = {}
+        self.reused_rows = 0
+        self.computed_rows = 0
+        self.reused_pairs = 0
+        self.computed_pairs = 0
+
+    # ------------------------------------------------------------------
+    # BuildExecutor surface
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:  # type: ignore[override]
+        return self._inner.jobs if self._inner is not None else 1
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self._inner.name if self._inner is not None else "serial"
+
+    def attach(self, inner: BuildExecutor) -> "MemoExecutor":
+        self._inner = inner
+        return self
+
+    def bind(self, engine) -> None:
+        if self._inner is None:
+            raise RuntimeError("memo executor has no inner executor")
+        self._inner.bind(engine)
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+
+    # ------------------------------------------------------------------
+    # the memoised maps
+    # ------------------------------------------------------------------
+    def ssad(self, center: int, radius: Optional[float] = None
+             ) -> Dict[int, float]:
+        """Point-wise memoised SSAD (the partition-tree build hook)."""
+        return self.map_ssad([(center, radius)])[0]
+
+    def map_ssad(self, tasks) -> List[Dict[int, float]]:
+        results: List[Optional[Dict[int, float]]] = [None] * len(tasks)
+        misses: List[int] = []
+        for position, (slot, radius) in enumerate(tasks):
+            row = self._cached_row(int(slot), radius)
+            if row is None:
+                misses.append(position)
+            else:
+                results[position] = row
+                self.reused_rows += 1
+        if misses:
+            chunk = self._gate.budget if self._gate is not None \
+                else len(misses)
+            for start in range(0, len(misses), chunk):
+                part = misses[start:start + chunk]
+                fresh = self._inner.map_ssad(
+                    [tasks[position] for position in part])
+                if len(fresh) != len(part):
+                    raise ValueError(
+                        "executor returned a misaligned batch")
+                for position, row in zip(part, fresh):
+                    slot, radius = tasks[position]
+                    self._capture_row(int(slot), radius, row)
+                    results[position] = row
+                    self.computed_rows += 1
+                if self._gate is not None:
+                    self._gate.pause(len(part))
+        return results  # type: ignore[return-value]
+
+    def map_pair_distances(self, pairs) -> List[float]:
+        results: List[Optional[float]] = [None] * len(pairs)
+        misses: List[int] = []
+        members = self._memo.members
+        for position, (slot_a, slot_b) in enumerate(pairs):
+            ext_a, ext_b = self._ext_of[slot_a], self._ext_of[slot_b]
+            key = (ext_a, ext_b) if ext_a < ext_b else (ext_b, ext_a)
+            cached = self._memo.pairs.get(key) if self._allow_reuse \
+                and ext_a in members and ext_b in members else None
+            if cached is None:
+                misses.append(position)
+            else:
+                results[position] = cached
+                self.captured_pairs[key] = cached
+                self.reused_pairs += 1
+        if misses:
+            fresh = self._inner.map_pair_distances(
+                [pairs[position] for position in misses])
+            if len(fresh) != len(misses):
+                raise ValueError("executor returned a misaligned batch")
+            for position, distance in zip(misses, fresh):
+                slot_a, slot_b = pairs[position]
+                ext_a = self._ext_of[slot_a]
+                ext_b = self._ext_of[slot_b]
+                key = (ext_a, ext_b) if ext_a < ext_b \
+                    else (ext_b, ext_a)
+                self.captured_pairs[key] = float(distance)
+                results[position] = distance
+                self.computed_pairs += 1
+            if self._gate is not None:
+                self._gate.pause(len(misses))
+        return results  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "reused_rows": self.reused_rows,
+            "computed_rows": self.computed_rows,
+            "reused_pairs": self.reused_pairs,
+            "computed_pairs": self.computed_pairs,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cached_row(self, slot: int,
+                    radius: Optional[float]) -> Optional[Dict[int, float]]:
+        """A valid memoised row, re-slotted — or ``None`` to compute.
+
+        Validity: cover-all rows (``radius=None``) die with any
+        insert; a bounded row dies when some inserted POI sits within
+        ``radius * (1 + slack)`` of its source, because the fresh row
+        would then contain that POI.  Deleted targets are dropped by
+        the re-slot itself (their external ids have no new slot).
+        """
+        if not self._allow_reuse:
+            return None
+        ext = self._ext_of[slot]
+        key = (ext, None if radius is None else float(radius))
+        cached = self._memo.rows.get(key)
+        if cached is None:
+            return None
+        if self._inserted:
+            if radius is None:
+                return None
+            nearest = self._blocked.get(ext, math.inf)
+            if nearest <= float(radius) * (1.0 + _SLACK):
+                return None
+        slot_of = self._slot_of
+        kept = {target: distance for target, distance in cached.items()
+                if target in slot_of}
+        self.captured_rows[key] = kept
+        return {slot_of[target]: distance
+                for target, distance in kept.items()}
+
+    def _capture_row(self, slot: int, radius: Optional[float],
+                     row: Dict[int, float]) -> None:
+        ext_of = self._ext_of
+        key = (ext_of[slot], None if radius is None else float(radius))
+        self.captured_rows[key] = {
+            ext_of[target]: distance for target, distance in row.items()
+        }

@@ -98,6 +98,13 @@ class SEOracle:
         Explicit :class:`~repro.core.parallel.BuildExecutor` overriding
         ``jobs``; the caller keeps ownership (it is not closed after
         the build), so one process pool can serve several builds.
+    ssad_cache:
+        Optional :class:`~repro.core.incremental.MemoExecutor` — the
+        incremental-flush memo.  When set, every SSAD of the build
+        (tree construction and fan-out alike) is routed through it:
+        memoised rows replay instead of recomputing, new rows are
+        captured for the next generation.  The output is bit-identical
+        with or without a cache.
 
     Example
     -------
@@ -114,7 +121,8 @@ class SEOracle:
                  strategy: Strategy = "random",
                  method: BuildMethod = "efficient",
                  seed: int = 0, jobs: int = 1,
-                 executor: Optional[BuildExecutor] = None):
+                 executor: Optional[BuildExecutor] = None,
+                 ssad_cache=None):
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         if method not in ("efficient", "naive"):
@@ -126,6 +134,7 @@ class SEOracle:
         self.seed = seed
         self.jobs = jobs
         self._executor = executor
+        self._ssad_cache = ssad_cache
         self.stats = BuildStats()
         self._tree: Optional[CompressedPartitionTree] = None
         self._original_tree: Optional[PartitionTree] = None
@@ -157,6 +166,13 @@ class SEOracle:
         owns_executor = executor is None
         if owns_executor:
             executor = make_executor(self.jobs)
+        tree_ssad = None
+        if self._ssad_cache is not None:
+            # The memo wraps the real executor: valid rows replay in
+            # external-id space, misses fan out through the inner
+            # executor and are captured for the next generation.
+            executor = self._ssad_cache.attach(executor)
+            tree_ssad = self._ssad_cache.ssad
         try:
             executor.bind(engine)
 
@@ -165,7 +181,8 @@ class SEOracle:
             # ----------------------------------------------------------
             tick = time.perf_counter()
             original = build_partition_tree(engine, strategy=self.strategy,
-                                            seed=self.seed)
+                                            seed=self.seed,
+                                            ssad=tree_ssad)
             tree = compress_tree(original)
             self.stats.tree_seconds = time.perf_counter() - tick
 

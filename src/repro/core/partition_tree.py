@@ -18,10 +18,12 @@ two SSAD stopping rules of Implementation Detail 2 (provided by
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
+import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional
+from typing import Callable, Dict, List, Literal, Optional
 
 from ..datastructures.grid_index import GridDensityIndex
 from ..geodesic.engine import GeodesicEngine
@@ -29,6 +31,12 @@ from ..geodesic.engine import GeodesicEngine
 __all__ = ["PartitionTreeNode", "PartitionTree", "build_partition_tree"]
 
 SelectionStrategy = Literal["random", "greedy"]
+
+#: SSAD hook: ``(center, radius) -> {poi: distance}``.  Defaults to the
+#: engine's own :meth:`~repro.geodesic.engine.GeodesicEngine.
+#: distances_from_poi`; the incremental flush substitutes a memoised
+#: wrapper so unchanged rows are replayed instead of recomputed.
+SSADHook = Callable[[int, Optional[float]], Dict[int, float]]
 
 # Radius-boundary comparisons happen between two floating-point geodesic
 # distances computed along different paths; a tiny relative slack keeps
@@ -143,10 +151,36 @@ class PartitionTree:
         assert len(self.layers[-1]) == len(self.leaf_of_center)
 
 
+def _position_priorities(engine: GeodesicEngine, seed: int) -> List[int]:
+    """Seeded per-POI selection priorities, keyed by *surface position*.
+
+    The "random" strategy used to draw its picks from a ``Random``
+    stream, which made every selection depend on ``n`` and on draw
+    order — so any insert or delete reshuffled the whole tree and an
+    incremental flush could reuse nothing.  Instead each POI gets a
+    uniform 64-bit priority ``blake2b(seed ‖ position)``: priorities
+    are i.i.d. uniform over the POI set (so argmin/ordered selection
+    is distributionally the same as uniform random picks), but a POI
+    keeps its priority across rebuilds because its identity is its
+    position — churn leaves every surviving pick decision unchanged.
+    """
+    return [
+        int.from_bytes(
+            hashlib.blake2b(
+                struct.pack("<q3d", seed, *poi.position),
+                digest_size=8,
+            ).digest(),
+            "big",
+        )
+        for poi in engine.pois
+    ]
+
+
 def build_partition_tree(engine: GeodesicEngine,
                          strategy: SelectionStrategy = "random",
                          seed: int = 0,
-                         max_layers: int = 64) -> PartitionTree:
+                         max_layers: int = 64,
+                         ssad: Optional[SSADHook] = None) -> PartitionTree:
     """Build the partition tree over ``engine``'s POI set (Section 3.2).
 
     Parameters
@@ -161,22 +195,30 @@ def build_partition_tree(engine: GeodesicEngine,
     max_layers:
         Safety bound on tree depth; Lemma 2 bounds the real height by
         ``log2(d_max / d_min) + 1``, < 60 for any physical terrain.
+    ssad:
+        Optional SSAD provider replacing ``engine.distances_from_poi``
+        — the incremental-flush memo hook.  Must return exactly what
+        the engine would.
     """
     n = engine.num_pois
     if n == 0:
         raise ValueError("cannot build a partition tree over zero POIs")
     rng = random.Random(seed)
+    if ssad is None:
+        ssad = engine.distances_from_poi
 
     if n == 1:
         root = PartitionTreeNode(node_id=0, center=0, layer=0, radius=0.0,
                                  parent=None)
         return PartitionTree([root], [[0]], root_radius=0.0)
 
+    priorities = _position_priorities(engine, seed)
+
     # ------------------------------------------------------------------
     # Step 1: root node construction.
     # ------------------------------------------------------------------
-    root_center = rng.randrange(n)
-    distances = engine.distances_from_poi(root_center)  # SSAD version 1
+    root_center = min(range(n), key=lambda poi: (priorities[poi], poi))
+    distances = ssad(root_center, None)  # SSAD version 1
     if len(distances) < n:
         raise ValueError("POI set is not geodesically connected")
     r0 = max(distances.values())
@@ -206,18 +248,20 @@ def build_partition_tree(engine: GeodesicEngine,
                 {i: (float(xy[i, 0]), float(xy[i, 1])) for i in range(n)},
                 cell_width=max(radius, _EPS), rng=rng,
             )
-        # Centres of the previous layer are selected first (Step 2(b)(i)).
+        # Centres of the previous layer are selected first (Step 2(b)(i)),
+        # in priority order (the queue is popped from its tail).
         center_queue = [nodes[i].center for i in previous_layer]
-        rng.shuffle(center_queue)
+        center_queue.sort(key=lambda poi: (priorities[poi], poi),
+                          reverse=True)
         new_layer: List[int] = []
 
         while uncovered:
-            center = _select_point(center_queue, uncovered, grid, rng)
+            center = _select_point(center_queue, uncovered, grid,
+                                   priorities)
             # Step 2(b)(ii): SSAD bounded by 2 * radius — enough both to
             # cover D(center, radius) and to reach the nearest previous-
             # layer centre (within r_{i-1} = 2 * radius by Covering).
-            reached = engine.distances_from_poi(
-                center, radius=2.0 * radius * (1.0 + _EPS))
+            reached = ssad(center, 2.0 * radius * (1.0 + _EPS))
             covered = [poi for poi in uncovered
                        if reached.get(poi, math.inf) <= radius * (1.0 + _EPS)]
             uncovered.difference_update(covered)
@@ -245,7 +289,7 @@ def build_partition_tree(engine: GeodesicEngine,
 
 def _select_point(center_queue: List[int], uncovered: set,
                   grid: Optional[GridDensityIndex],
-                  rng: random.Random) -> int:
+                  priorities: List[int]) -> int:
     """Step 2(b)(i): previous-layer centres first, then the strategy."""
     while center_queue:
         candidate = center_queue.pop()
@@ -253,12 +297,11 @@ def _select_point(center_queue: List[int], uncovered: set,
             return candidate
     if grid is not None:
         return grid.pick_from_densest()
-    # Random strategy: uniform over the uncovered points.
-    index = rng.randrange(len(uncovered))
-    for position, poi in enumerate(uncovered):
-        if position == index:
-            return poi
-    raise AssertionError("unreachable")
+    # Random strategy: the minimum-priority uncovered point — the
+    # churn-stable equivalent of a uniform draw (every POI's priority
+    # is an i.i.d. uniform hash of its position, so the argmin is a
+    # uniformly distributed choice).
+    return min(uncovered, key=lambda poi: (priorities[poi], poi))
 
 
 def _nearest_parent(previous_by_center: Dict[int, int],

@@ -116,16 +116,30 @@ def _member_info(name: str) -> zipfile.ZipInfo:
 
 
 def _write_store(path: PathLike, meta: Dict[str, Any],
-                 sections: Dict[str, np.ndarray]) -> None:
+                 sections: Dict[str, np.ndarray],
+                 raw_members: Optional[Dict[str, bytes]] = None) -> None:
+    """Write a v4 store; ``raw_members`` short-circuits serialization.
+
+    ``raw_members`` maps a section name to the ready-made ``.npy``
+    member bytes of a previous store generation — the incremental
+    repack path: sections the flush left untouched flow straight from
+    the old file into the new one.  Because the member format is fully
+    deterministic (pinned timestamps, ZIP_STORED, canonical npy
+    headers), the output is byte-identical to re-serializing.
+    """
+    raw_members = raw_members or {}
     with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
         archive.writestr(_member_info(_META_MEMBER),
                          json.dumps(meta, sort_keys=True, indent=1))
         for name, array in sections.items():
-            buffer = io.BytesIO()
-            np.lib.format.write_array(
-                buffer, np.ascontiguousarray(array), allow_pickle=False)
-            archive.writestr(_member_info(name + ".npy"),
-                             buffer.getvalue())
+            raw = raw_members.get(name)
+            if raw is None:
+                buffer = io.BytesIO()
+                np.lib.format.write_array(
+                    buffer, np.ascontiguousarray(array),
+                    allow_pickle=False)
+                raw = buffer.getvalue()
+            archive.writestr(_member_info(name + ".npy"), raw)
 
 
 def _tree_sections(tree: CompressedPartitionTree
@@ -180,12 +194,50 @@ def oracle_sections(oracle: SEOracle) -> Dict[str, np.ndarray]:
     return sections
 
 
-def pack_oracle(oracle: SEOracle, path: PathLike) -> None:
+def _reusable_members(previous: PathLike,
+                      sections: Dict[str, np.ndarray]
+                      ) -> Dict[str, bytes]:
+    """Raw ``.npy`` member bytes of ``previous`` for every section the
+    new build left unchanged (same dtype/shape/values).
+
+    The incremental-repack half of the sublinear flush: dirty sections
+    serialize fresh, clean ones are copied byte-for-byte from the old
+    generation — ``np.array_equal`` bails out at the first differing
+    element, so comparing a dirty section costs almost nothing.
+    """
+    reusable: Dict[str, bytes] = {}
+    try:
+        _, old_sections = read_store(previous, mmap=True)
+        with zipfile.ZipFile(previous) as archive:
+            for name, array in sections.items():
+                old = old_sections.get(name)
+                if (old is None or old.dtype != array.dtype
+                        or old.shape != array.shape
+                        or not np.array_equal(old, array)):
+                    continue
+                reusable[name] = archive.read(name + ".npy")
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return {}  # unreadable / incompatible previous: full write
+    return reusable
+
+
+def pack_oracle(oracle: SEOracle, path: PathLike,
+                canonical: bool = False,
+                previous: Optional[PathLike] = None) -> Dict[str, Any]:
     """Write a built oracle as a format-v4 binary store.
 
     Compiles the oracle (chain matrix + frozen hash tables) if that has
     not happened yet — packing is the natural one-time cost point, so
     an :func:`open_oracle` load never pays it.
+
+    ``canonical=True`` pins the meta document's wall-clock field
+    (``stats.total_seconds``) to zero, so two builds of the *same*
+    oracle content — e.g. an incremental flush and a from-scratch
+    rebuild over the same live POI set — pack to byte-identical files.
+    ``previous`` names an earlier store generation to splice unchanged
+    section bytes from (see :func:`_reusable_members`); the output is
+    byte-identical either way.  Returns a small report:
+    ``{"sections": total, "reused": copied-from-previous}``.
     """
     from .serialize import workload_fingerprint
     sections = oracle_sections(oracle)
@@ -197,10 +249,15 @@ def pack_oracle(oracle: SEOracle, path: PathLike) -> None:
                "jobs": oracle.stats.jobs},
         stats={"height": oracle.stats.height,
                "pairs_stored": oracle.stats.pairs_stored,
-               "total_seconds": oracle.stats.total_seconds},
+               "total_seconds": 0.0 if canonical
+               else oracle.stats.total_seconds},
         tree=oracle.tree,
     )
-    _write_store(path, meta, sections)
+    raw_members: Dict[str, bytes] = {}
+    if previous is not None and os.path.exists(previous):
+        raw_members = _reusable_members(previous, sections)
+    _write_store(path, meta, sections, raw_members=raw_members)
+    return {"sections": len(sections), "reused": len(raw_members)}
 
 
 def pack_document(document: Dict[str, Any], path: PathLike) -> None:

@@ -155,6 +155,7 @@ class TerrainCounters:
     refreshes: int = 0        # generation re-mmaps (tracked terrains)
     updates: int = 0          # POI inserts + deletes (mutable only)
     flushes: int = 0          # rebuild + repack cycles (mutable only)
+    flush_slices: int = 0     # background-flush work slices (mutable)
     server_batches: int = 0   # coalesced dispatches (network server)
     server_batched_queries: int = 0  # point queries they carried
     load_seconds: float = 0.0
@@ -178,6 +179,7 @@ class TerrainCounters:
             "refreshes": self.refreshes,
             "updates": self.updates,
             "flushes": self.flushes,
+            "flush_slices": self.flush_slices,
             "server_batches": self.server_batches,
             "server_batched_queries": self.server_batched_queries,
             "mean_server_batch": mean_batch,
@@ -221,6 +223,9 @@ class MutableRegistration(_Registration):
 
     overlay: Optional[DynamicSEOracle] = None
     dirty: bool = False
+    #: a background flush is in flight: updates and further flushes
+    #: must wait for it (queries keep flowing between its slices)
+    flushing: bool = False
 
     @property
     def mutable(self) -> bool:
@@ -609,6 +614,7 @@ class OracleService:
         stable external id.  The insert lands in the terrain's overlay
         — the on-disk store is untouched until :meth:`flush`."""
         registration = self._mutable(terrain_id)
+        self._refuse_mid_flush(terrain_id, registration, "insert_poi")
         new_id = registration.overlay.insert(x, y)
         registration.counters.updates += 1
         registration.dirty = True
@@ -620,12 +626,14 @@ class OracleService:
         ``KeyError``.  On-disk state is untouched until
         :meth:`flush`."""
         registration = self._mutable(terrain_id)
+        self._refuse_mid_flush(terrain_id, registration, "delete_poi")
         registration.overlay.delete(poi_id)
         registration.counters.updates += 1
         registration.dirty = True
 
     @_locked
-    def flush(self, terrain_id: str) -> Dict[str, Any]:
+    def flush(self, terrain_id: str,
+              mode: str = "incremental") -> Dict[str, Any]:
         """Persist a mutable terrain: rebuild + repack + re-adopt.
 
         Rebuilds the base oracle over the active POI set (compacting
@@ -635,16 +643,42 @@ class OracleService:
         read-only maps as the overlay's base.  No-op when the overlay
         matches the on-disk store already.  Returns the (possibly
         refreshed) store meta.
+
+        ``mode`` selects the rebuild path: ``"incremental"`` (default)
+        replays the overlay's cross-rebuild SSAD memo so only
+        churn-damaged rows recompute, ``"full"`` is the from-scratch
+        reference rebuild.  Both produce bit-identical stores; the
+        repack itself splices unchanged section bytes from the
+        previous generation either way.  For a flush that never stalls
+        readers, see :meth:`flush_background`.
         """
+        if mode not in ("incremental", "full"):
+            raise ValueError(
+                f"unknown flush mode {mode!r}; expected 'incremental' "
+                "or 'full' (background flushes go through "
+                "flush_background)")
         registration = self._mutable(terrain_id)
+        self._refuse_mid_flush(terrain_id, registration, "flush")
         overlay = registration.overlay
         if not registration.dirty:
             return registration.meta
         if overlay.has_pending_updates:
-            overlay.force_rebuild()
+            overlay.flush(incremental=(mode == "incremental"))
+        return self._publish_flush(registration)
+
+    def _publish_flush(self, registration: MutableRegistration
+                       ) -> Dict[str, Any]:
+        """Pack + atomic-replace + re-adopt one flushed generation.
+
+        The pack is canonical (wall-clock meta pinned) and splices
+        unchanged section bytes from the outgoing generation — the
+        incremental-repack half of the sublinear flush.
+        """
+        overlay = registration.overlay
         temp_path = registration.path + ".flush.tmp"
         try:
-            pack_oracle(overlay.oracle, temp_path)
+            pack_oracle(overlay.oracle, temp_path, canonical=True,
+                        previous=registration.path)
             os.replace(temp_path, registration.path)
         except BaseException:
             # A failed pack/replace must not leave a stale temp file
@@ -660,6 +694,69 @@ class OracleService:
         registration.counters.flushes += 1
         registration.dirty = False
         return registration.meta
+
+    def flush_background(self, terrain_id: str, incremental: bool = True,
+                         slice_ssads: int = 8) -> threading.Thread:
+        """Flush in bounded slices on a worker thread; returns it.
+
+        The rebuild proceeds as :meth:`~repro.core.dynamic.
+        DynamicSEOracle.flush_steps` slices: each slice takes the
+        service lock, performs at most ``slice_ssads`` SSAD
+        computations, and releases it — so reader queries interleave
+        between slices instead of stalling for the whole rebuild.  One
+        generation is published at the end (atomic repack + re-adopt,
+        under the lock), exactly as a synchronous flush would.
+        Updates and other flushes on the terrain are refused while the
+        flush is in flight; join the returned thread to wait for
+        completion.  Errors are recorded on the thread's
+        ``flush_outcome`` dict under ``"error"``.
+        """
+        with self._lock:
+            registration = self._mutable(terrain_id)
+            self._refuse_mid_flush(terrain_id, registration,
+                                   "flush_background")
+            registration.flushing = True
+        outcome: Dict[str, Any] = {}
+
+        def runner() -> None:
+            try:
+                overlay = registration.overlay
+                if registration.dirty and overlay.has_pending_updates:
+                    steps = overlay.flush_steps(
+                        incremental=incremental, slice_ssads=slice_ssads)
+                    try:
+                        while True:
+                            with self._lock:
+                                try:
+                                    next(steps)
+                                except StopIteration:
+                                    break
+                                registration.counters.flush_slices += 1
+                    finally:
+                        steps.close()
+                with self._lock:
+                    if registration.dirty:
+                        outcome["meta"] = self._publish_flush(
+                            registration)
+            except BaseException as error:
+                outcome["error"] = error
+            finally:
+                with self._lock:
+                    registration.flushing = False
+
+        thread = threading.Thread(
+            target=runner, name=f"flush-{terrain_id}", daemon=True)
+        thread.flush_outcome = outcome  # type: ignore[attr-defined]
+        thread.start()
+        return thread
+
+    def _refuse_mid_flush(self, terrain_id: str,
+                          registration: MutableRegistration,
+                          operation: str) -> None:
+        if registration.flushing:
+            raise RuntimeError(
+                f"terrain {terrain_id!r} has a background flush in "
+                f"flight; {operation} must wait for it to finish")
 
     # ------------------------------------------------------------------
     # statistics

@@ -238,3 +238,94 @@ class TestDynamicUpdateFuzz:
                             f"(eps={eps})")
                 batches_checked += 1
         assert batches_checked > 0
+
+
+class TestChurnFlushQueryFuzz:
+    """Interleaved churn + flush + query fuzzing (PR-8 tentpole).
+
+    Two identically-drawn dynamic oracles walk the same seeded action
+    sequence; at random mid-trace points one takes an *incremental*
+    flush while its twin takes a full ``force_rebuild``.  After every
+    flush point:
+
+    1. **Rebuild equivalence** — the all-pairs matrices of the two
+       oracles are bit-identical (the spliced tables answer exactly
+       what a from-scratch build answers).
+    2. **Batch == scalar, bit for bit** — on the incremental side.
+    3. **Approximation** — sampled answers stay within ``(1 ± ε)`` of
+       :func:`dijkstra_reference` on the current metric graph.
+    """
+
+    ACTIONS = 12
+
+    @pytest.fixture(params=SEEDS, ids=[f"seed{seed}" for seed in SEEDS])
+    def twins(self, request):
+        from repro.core import DynamicSEOracle
+        rng = random.Random(2000 + request.param)
+        mesh = make_terrain(
+            grid_exponent=3,
+            extent=(rng.uniform(60.0, 160.0), rng.uniform(60.0, 160.0)),
+            relief=rng.uniform(5.0, 40.0),
+            roughness=rng.uniform(0.4, 0.7),
+            seed=rng.randrange(1 << 16),
+        )
+        pois = sample_uniform(mesh, rng.randrange(6, 14),
+                              seed=rng.randrange(1 << 16))
+        epsilon = rng.choice(EPSILONS)
+        build_seed = rng.randrange(1 << 16)
+        make = lambda: DynamicSEOracle(  # noqa: E731
+            mesh, pois, epsilon=epsilon, rebuild_factor=10.0,
+            seed=build_seed).build()
+        return mesh, make(), make(), rng
+
+    def _assert_flush_point(self, oracle, twin, rng):
+        eps = oracle.epsilon
+        live = [int(poi) for poi in oracle.live_ids()]
+        assert np.array_equal(oracle.live_ids(), twin.live_ids())
+        matrix = oracle.query_matrix()
+        assert np.array_equal(matrix, twin.query_matrix())
+        sources = np.asarray([rng.choice(live) for _ in range(8)],
+                             dtype=np.intp)
+        targets = np.asarray([rng.choice(live) for _ in range(8)],
+                             dtype=np.intp)
+        batched = oracle.query_batch(sources, targets)
+        for index in range(sources.size):
+            a, b = int(sources[index]), int(targets[index])
+            scalar = oracle.query(a, b)
+            assert batched[index] == scalar
+            true = TestDynamicUpdateFuzz._reference_distance(
+                self, oracle, a, b)
+            if true == 0.0:
+                assert scalar == 0.0
+            else:
+                assert abs(scalar - true) <= eps * true * (1 + 1e-6), (
+                    f"({a},{b}): {scalar} vs exact {true} (eps={eps})")
+
+    def test_incremental_flush_mid_trace(self, twins):
+        mesh, oracle, twin, rng = twins
+        low, high = mesh.bounding_box()
+        flushes = 0
+        for _ in range(self.ACTIONS):
+            action = rng.choice(("insert", "delete", "flush", "insert"))
+            live = [int(poi) for poi in oracle.live_ids()]
+            if action == "insert":
+                x = rng.uniform(float(low[0]), float(high[0]))
+                y = rng.uniform(float(low[1]), float(high[1]))
+                if mesh.locate_face(x, y) >= 0:
+                    oracle.insert(x, y)
+                    twin.insert(x, y)
+            elif action == "delete" and len(live) > 3:
+                victim = rng.choice(live)
+                oracle.delete(victim)
+                twin.delete(victim)
+            elif action == "flush":
+                oracle.flush()
+                twin.force_rebuild()
+                flushes += 1
+                self._assert_flush_point(oracle, twin, rng)
+        if not flushes:  # the draw never rolled "flush": force one
+            oracle.flush()
+            twin.force_rebuild()
+            flushes += 1
+            self._assert_flush_point(oracle, twin, rng)
+        assert flushes > 0

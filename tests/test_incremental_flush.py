@@ -1,0 +1,256 @@
+"""Rebuild-equivalence fuzz wall for the sublinear incremental flush.
+
+PR-8 headline invariant: an incrementally-flushed oracle is
+*bit-identical* to a freshly built one over the same live POI set —
+every compiled section array-for-array, every query answer, and the
+packed store byte-for-byte (under the canonical pack).  The suite
+drives seeded churn traces (insert-only, delete-only, mixed; several
+rebuild factors) through two identically-churned dynamic oracles and
+compares the incremental path against ``force_rebuild``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicSEOracle
+from repro.core.store import oracle_sections, pack_oracle
+from repro.terrain import make_terrain, sample_uniform
+
+EPSILON = 0.25
+STAT_KEYS = {"reused_rows", "computed_rows",
+             "reused_pairs", "computed_pairs"}
+
+
+def make_oracle(seed, num_pois=12, rebuild_factor=10.0):
+    mesh = make_terrain(grid_exponent=3, extent=(100.0, 100.0),
+                        relief=15.0, seed=seed)
+    pois = sample_uniform(mesh, num_pois, seed=seed + 1)
+    return DynamicSEOracle(mesh, pois, epsilon=EPSILON,
+                           rebuild_factor=rebuild_factor,
+                           seed=1).build()
+
+
+def draw_trace(seed, oracle, kind, steps=4):
+    """A reproducible churn trace valid for ``oracle``'s live set."""
+    rng = random.Random(10_000 + seed)
+    live = [int(i) for i in oracle.live_ids()]
+    trace = []
+    for step in range(steps):
+        deletable = len(live) > 3 and kind in ("delete", "mixed")
+        insertable = kind in ("insert", "mixed")
+        if deletable and (not insertable or rng.random() < 0.5):
+            victim = live.pop(rng.randrange(len(live)))
+            trace.append(("delete", victim))
+        elif insertable:
+            trace.append(("insert", rng.uniform(5.0, 95.0),
+                          rng.uniform(5.0, 95.0)))
+    return trace
+
+
+def apply_trace(oracle, trace):
+    for action in trace:
+        if action[0] == "insert":
+            oracle.insert(action[1], action[2])
+        else:
+            oracle.delete(action[1])
+
+
+def assert_sections_identical(left, right):
+    left_sections = oracle_sections(left)
+    right_sections = oracle_sections(right)
+    assert left_sections.keys() == right_sections.keys()
+    for name, array in left_sections.items():
+        other = right_sections[name]
+        assert array.dtype == other.dtype, name
+        assert array.shape == other.shape, name
+        assert np.array_equal(array, other), (
+            f"section {name!r} differs between incremental flush "
+            "and force_rebuild"
+        )
+
+
+class TestSplicedTablesEqualReference:
+    """flush(incremental=True) == force_rebuild, array-for-array."""
+
+    @pytest.mark.parametrize("seed", [41, 43, 47])
+    @pytest.mark.parametrize("kind", ["insert", "delete", "mixed"])
+    def test_sections_bit_identical(self, seed, kind):
+        incremental = make_oracle(seed)
+        reference = make_oracle(seed)
+        trace = draw_trace(seed, incremental, kind)
+        assert trace, "empty churn trace drawn"
+        apply_trace(incremental, trace)
+        apply_trace(reference, trace)
+
+        stats = incremental.flush()
+        reference.force_rebuild()
+
+        assert set(stats) == STAT_KEYS
+        assert_sections_identical(incremental.oracle, reference.oracle)
+        ids = incremental.live_ids()
+        assert np.array_equal(ids, reference.live_ids())
+        assert np.array_equal(incremental.query_matrix(),
+                              reference.query_matrix())
+
+    @pytest.mark.parametrize("rebuild_factor", [0.5, 2.0])
+    def test_survives_amortised_mid_trace_rebuilds(self, rebuild_factor):
+        """Low rebuild factors trigger rebuilds *inside* the trace;
+        the memo must stay coherent across its own generations."""
+        incremental = make_oracle(53, rebuild_factor=rebuild_factor)
+        reference = make_oracle(53, rebuild_factor=rebuild_factor)
+        trace = draw_trace(53, incremental, "mixed", steps=8)
+        apply_trace(incremental, trace)
+        apply_trace(reference, trace)
+        assert incremental.rebuild_count == reference.rebuild_count
+
+        incremental.flush()
+        reference.force_rebuild()
+        assert_sections_identical(incremental.oracle, reference.oracle)
+
+    def test_explicit_full_flush_is_force_rebuild(self):
+        oracle = make_oracle(59)
+        oracle.insert(33.0, 44.0)
+        stats = oracle.flush(incremental=False)
+        assert stats["reused_rows"] == 0
+        assert stats["computed_rows"] > 0
+
+
+class TestCanonicalRepackByteIdentity:
+    """Packed stores are byte-identical after the canonical repack."""
+
+    def test_incremental_and_full_pack_identically(self, tmp_path):
+        incremental = make_oracle(61)
+        reference = make_oracle(61)
+        trace = draw_trace(61, incremental, "mixed")
+        apply_trace(incremental, trace)
+        apply_trace(reference, trace)
+        incremental.flush()
+        reference.force_rebuild()
+
+        left = tmp_path / "incremental.sestore"
+        right = tmp_path / "reference.sestore"
+        pack_oracle(incremental.oracle, left, canonical=True)
+        pack_oracle(reference.oracle, right, canonical=True)
+        assert left.read_bytes() == right.read_bytes()
+
+    def test_previous_splice_preserves_bytes(self, tmp_path):
+        """``previous=`` is a pure serialization shortcut: output
+        bytes match a from-scratch pack exactly."""
+        oracle = make_oracle(67)
+        before = tmp_path / "gen0.sestore"
+        pack_oracle(oracle.oracle, before, canonical=True)
+
+        oracle.delete(int(oracle.live_ids()[0]))
+        oracle.flush()
+        plain = tmp_path / "gen1-plain.sestore"
+        spliced = tmp_path / "gen1-spliced.sestore"
+        report = pack_oracle(oracle.oracle, plain, canonical=True)
+        spliced_report = pack_oracle(oracle.oracle, spliced,
+                                     canonical=True, previous=before)
+        assert plain.read_bytes() == spliced.read_bytes()
+        assert spliced_report["sections"] == report["sections"]
+
+    def test_idempotent_flush_reuses_every_section(self, tmp_path):
+        """No churn → next generation splices all sections from the
+        previous store."""
+        oracle = make_oracle(71)
+        gen0 = tmp_path / "gen0.sestore"
+        pack_oracle(oracle.oracle, gen0, canonical=True)
+        oracle.flush()  # no pending updates: pure replay
+        gen1 = tmp_path / "gen1.sestore"
+        report = pack_oracle(oracle.oracle, gen1, canonical=True,
+                             previous=gen0)
+        assert report["reused"] == report["sections"]
+        assert gen0.read_bytes() == gen1.read_bytes()
+
+
+class TestReuseAccounting:
+    def test_noop_flush_recomputes_nothing(self):
+        oracle = make_oracle(73)
+        stats = oracle.flush()
+        assert stats["computed_rows"] == 0
+        assert stats["reused_rows"] > 0
+        assert stats["computed_pairs"] == 0
+
+    def test_delete_only_flush_reuses_most_rows(self):
+        oracle = make_oracle(79)
+        live = [int(i) for i in oracle.live_ids()]
+        oracle.delete(live[2])
+        oracle.delete(live[7])
+        stats = oracle.flush()
+        assert stats["reused_rows"] > stats["computed_rows"]
+
+    def test_flush_returns_copy_of_last_stats(self):
+        oracle = make_oracle(83)
+        oracle.insert(20.0, 80.0)
+        stats = oracle.flush()
+        assert stats == oracle.last_flush_stats
+        stats["reused_rows"] = -1
+        assert oracle.last_flush_stats["reused_rows"] != -1
+
+
+class TestFlushSteps:
+    def test_sliced_flush_matches_reference(self):
+        incremental = make_oracle(89)
+        reference = make_oracle(89)
+        trace = draw_trace(89, incremental, "mixed")
+        apply_trace(incremental, trace)
+        apply_trace(reference, trace)
+
+        slices = list(incremental.flush_steps(slice_ssads=4))
+        reference.force_rebuild()
+
+        assert len(slices) > 1
+        assert all(not step["done"] for step in slices[:-1])
+        final = slices[-1]
+        assert final["done"] is True
+        assert set(final) >= STAT_KEYS | {"slice", "done"}
+        assert_sections_identical(incremental.oracle, reference.oracle)
+
+    def test_queries_answer_between_slices(self):
+        oracle = make_oracle(97)
+        inserted = oracle.insert(40.0, 60.0)
+        expected = oracle.query(inserted, int(oracle.live_ids()[0]))
+        steps = oracle.flush_steps(slice_ssads=2)
+        for _ in range(3):
+            step = next(steps)
+            assert step["done"] is False
+            # Readers keep getting pre-flush (overlay) answers.
+            assert oracle.query(
+                inserted, int(oracle.live_ids()[0])) == expected
+            assert oracle.has_pending_updates
+        for step in steps:
+            pass
+        assert step["done"] is True
+        assert not oracle.has_pending_updates
+
+    def test_abandoned_flush_leaves_oracle_intact(self):
+        oracle = make_oracle(101)
+        oracle.insert(25.0, 75.0)
+        rebuilds = oracle.rebuild_count
+        steps = oracle.flush_steps(slice_ssads=1)
+        next(steps)
+        steps.close()  # abort mid-build
+        assert oracle.rebuild_count == rebuilds
+        assert oracle.has_pending_updates
+        # A later full-strength flush still lands.
+        oracle.flush()
+        assert not oracle.has_pending_updates
+        assert oracle.rebuild_count == rebuilds + 1
+
+    def test_mid_flight_mutation_is_detected(self):
+        oracle = make_oracle(103)
+        oracle.insert(30.0, 30.0)
+        steps = oracle.flush_steps(slice_ssads=1)
+        next(steps)
+        oracle.insert(70.0, 70.0)  # changes the active set mid-flush
+        with pytest.raises(RuntimeError, match="changed while"):
+            for _ in steps:
+                pass
+
+    def test_invalid_slice_budget(self):
+        oracle = make_oracle(107)
+        with pytest.raises(ValueError):
+            next(oracle.flush_steps(slice_ssads=0))

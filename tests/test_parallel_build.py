@@ -180,9 +180,9 @@ class TestExecutorOwnership:
     def test_caller_supplied_executor_survives_builds(self, workload):
         executor = MultiprocessExecutor(2)
         try:
-            first = SEOracle(workload, 0.5, seed=3,
+            first = SEOracle(workload, 1.0, seed=3,
                              executor=executor).build()
-            second = SEOracle(workload, 0.25, seed=3,
+            second = SEOracle(workload, 0.5, seed=3,
                               executor=executor).build()
             assert first.stats.executor == "multiprocess"
             assert second.num_pairs > first.num_pairs

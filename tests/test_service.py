@@ -361,7 +361,7 @@ class TestMutableLifecycle:
         service, _, _, path = mutable_setup
         service.insert_poi("dunes", 30.0, 30.0)
 
-        def broken_pack(oracle, temp_path):
+        def broken_pack(oracle, temp_path, **kwargs):
             with open(temp_path, "wb") as handle:
                 handle.write(b"partial")
             raise OSError("disk full")

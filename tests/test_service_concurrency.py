@@ -246,6 +246,89 @@ class TestMutableChurn:
             assert answer in (before[(s, t)], after[(s, t)])
         assert service.stats()["m"]["flushes"] == 1
 
+    def test_background_flush_under_reader_hammering(
+            self, mutable_service):
+        """A background (sliced, incremental) flush runs while reader
+        threads hammer the terrain: no torn reads — every answer is
+        the pre-flush or post-flush serial value — one atomic
+        generation swap, and the counters reconcile."""
+        service = mutable_service
+        pairs = sample_pairs(NUM_POIS, 40, seed=37)
+        poi = service.insert_poi("m", 41.0, 52.0)
+        service.delete_poi("m", poi)
+        before = {(s, t): service.query("m", s, t) for s, t in pairs}
+        records = []
+        lock = threading.Lock()
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                local = []
+                while not stop.is_set():
+                    for s, t in pairs:
+                        local.append((s, t, service.query("m", s, t)))
+                with lock:
+                    records.extend(local)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+        flusher = service.flush_background("m", slice_ssads=2)
+        flusher.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert not failures
+        assert "error" not in flusher.flush_outcome
+        assert records, "readers never got a pass in"
+
+        after = {(s, t): service.query("m", s, t) for s, t in pairs}
+        for s, t, answer in records:
+            assert answer in (before[(s, t)], after[(s, t)])
+
+        counters = service.stats()["m"]
+        assert counters["flushes"] == 1
+        assert counters["flush_slices"] >= 1
+        assert counters["dirty"] is False
+
+    def test_updates_refused_while_background_flush_in_flight(
+            self, mutable_service):
+        """The mid-flight guard: while a background flush owns the
+        terrain, updates and competing flushes are refused instead of
+        silently invalidating the in-progress rebuild."""
+        service = mutable_service
+        registration = service._mutable("m")
+        registration.flushing = True  # deterministic in-flight state
+        try:
+            with pytest.raises(RuntimeError, match="in\\s*flight"):
+                service.insert_poi("m", 10.0, 10.0)
+            with pytest.raises(RuntimeError, match="in\\s*flight"):
+                service.delete_poi("m", 0)
+            with pytest.raises(RuntimeError, match="in\\s*flight"):
+                service.flush("m")
+            with pytest.raises(RuntimeError, match="in\\s*flight"):
+                service.flush_background("m")
+        finally:
+            registration.flushing = False
+        # Queries were never blocked, and the terrain still works.
+        assert service.query("m", 0, 1) > 0
+        assert service.insert_poi("m", 10.0, 10.0) == NUM_POIS
+
+    def test_idle_background_flush_is_a_noop(self, mutable_service):
+        """No pending updates and a clean store: the background flush
+        publishes nothing and flips no counters."""
+        service = mutable_service
+        thread = service.flush_background("m")
+        thread.join()
+        assert "error" not in thread.flush_outcome
+        counters = service.stats()["m"]
+        assert counters["flushes"] == 0
+        assert counters["flush_slices"] == 0
+
     def test_server_batcher_interleaves_with_direct_updates(
             self, mutable_service):
         """Async/thread interleaving: the server's event loop coalesces
