@@ -29,11 +29,20 @@ under network load, per scale:
 no speed gate — the no-scipy CI leg uses it to prove the server stack
 imports and serves without the optional dependencies.
 
+``--scenario-store`` switches to the scenario-replay mode instead:
+seeded :mod:`repro.serving.workloads` scenarios (moving-agent kNN,
+range alerts, coverage audits) are generated against the given packed
+store (e.g. one built by ``repro ingest`` from a real DEM) and
+replayed against a live server, gating replay byte-identity,
+wire==direct equivalence, and a per-scenario p95 ceiling.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py \
         --scales tiny medium --clients 16 --min-speedup 2 \
         --out BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --scenario-store real.store --out BENCH_serve_scenarios.json
 """
 
 from __future__ import annotations
@@ -54,11 +63,18 @@ sys.path.insert(
 
 from repro.core import SEOracle, pack_oracle  # noqa: E402
 from repro.geodesic import GeodesicEngine  # noqa: E402
+from repro.core import open_oracle  # noqa: E402
 from repro.serving import OracleService, ThreadedServer  # noqa: E402
 from repro.serving.loadgen import (  # noqa: E402
     closed_loop,
     open_loop,
+    replay_direct,
+    replay_workload,
     sample_pairs,
+)
+from repro.serving.workloads import (  # noqa: E402
+    SCENARIOS,
+    generate_workload,
 )
 from repro.terrain import make_terrain, sample_uniform  # noqa: E402
 
@@ -239,6 +255,70 @@ def measure_scale(
     }
 
 
+def measure_scenarios(
+    store_path: str,
+    scenarios: list,
+    events: int,
+    seed: int,
+    p95_ceiling_ms: float,
+) -> list:
+    """Replay seeded scenario workloads against a live server.
+
+    Per scenario, three gates:
+
+    1. **byte identity** — replaying the same workload twice yields
+       byte-identical response streams (the replay path is
+       deterministic end to end);
+    2. **wire == direct** — every decoded wire result equals a direct
+       ``OracleService`` replay of the same events (the network layer
+       adds no drift);
+    3. **latency** — the replay's p95 stays under ``p95_ceiling_ms``
+       (generous: catches a lost fast path, not a few-percent drift).
+    """
+    stored = open_oracle(store_path)
+    num_pois = stored.num_pois
+    matrix = stored.query_matrix()
+    off_diagonal = matrix[~np.eye(num_pois, dtype=bool)]
+    radius = round(float(np.median(off_diagonal)), 3)
+
+    terrain = "real"
+    service = OracleService(max_resident=2)
+    service.register(terrain, store_path)
+    runs = []
+    with ThreadedServer(service) as server:
+        for scenario in scenarios:
+            workload = generate_workload(
+                scenario, terrain, num_pois, events, seed=seed,
+                radius=radius,
+            )
+            first = replay_workload(
+                server.host, server.port, terrain, workload.events
+            )
+            second = replay_workload(
+                server.host, server.port, terrain, workload.events
+            )
+            byte_identical = first.response_bytes == second.response_bytes
+            reference = replay_direct(service, terrain, workload.events)
+            wire_matches_direct = first.results == reference
+            p95 = first.latency_ms["p95"]
+            runs.append({
+                "scenario": scenario,
+                "events": len(workload.events),
+                "seed": seed,
+                "num_pois": int(num_pois),
+                "params": workload.params,
+                "qps": round(first.qps, 2),
+                "latency_ms": first.latency_ms,
+                "op_latency_ms": first.op_latency_ms,
+                "errors": first.errors,
+                "byte_identical_replay": byte_identical,
+                "wire_matches_direct": wire_matches_direct,
+                "p95_ceiling_ms": p95_ceiling_ms,
+                "p95_ok": p95 <= p95_ceiling_ms,
+            })
+    return runs
+
+
 def check_baseline(report: dict, baseline_path: str) -> list:
     """Generous sanity gates against a committed baseline report.
 
@@ -334,6 +414,33 @@ def main(argv=None) -> int:
         "against",
     )
     parser.add_argument(
+        "--scenario-store",
+        default=None,
+        metavar="STORE",
+        help="packed oracle store (e.g. from 'repro ingest'): run the "
+        "scenario-replay legs against it instead of the synthetic "
+        "scale sweep",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=list(SCENARIOS),
+        choices=sorted(SCENARIOS),
+        help="scenario workloads to replay (with --scenario-store)",
+    )
+    parser.add_argument(
+        "--scenario-events",
+        type=int,
+        default=200,
+        help="events per scenario workload",
+    )
+    parser.add_argument(
+        "--scenario-p95-ms",
+        type=float,
+        default=50.0,
+        help="per-scenario replay p95 latency ceiling (milliseconds)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="minimal start/query/shutdown run: tiny scale, few "
@@ -348,6 +455,9 @@ def main(argv=None) -> int:
         args.clients = min(args.clients, 4)
         args.repeats = 1
         args.min_speedup = None
+
+    if args.scenario_store:
+        return _scenario_main(args)
 
     runs = []
     with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
@@ -426,6 +536,61 @@ def main(argv=None) -> int:
             print(f"FAILED baseline gate: {failure}")
         if failures:
             return 1
+    return 0
+
+
+def _scenario_main(args) -> int:
+    """``--scenario-store`` mode: replay scenario workloads only."""
+    runs = measure_scenarios(
+        args.scenario_store,
+        args.scenarios,
+        args.scenario_events,
+        args.seed,
+        args.scenario_p95_ms,
+    )
+    ok = True
+    for run in runs:
+        checks = []
+        if not run["byte_identical_replay"]:
+            checks.append("REPLAY BYTES DIFFER")
+        if not run["wire_matches_direct"]:
+            checks.append("WIRE != DIRECT")
+        if not run["p95_ok"]:
+            checks.append(
+                f"p95 {run['latency_ms']['p95']:.2f} ms over "
+                f"{run['p95_ceiling_ms']:.0f} ms ceiling"
+            )
+        if run["errors"]:
+            checks.append(f"{run['errors']} error replies")
+        ok = ok and not checks
+        verdict = "; ".join(checks) if checks else "ok"
+        print(
+            f"{run['scenario']:15s} {run['events']:5d} events  "
+            f"{run['qps']:8,.0f} q/s  "
+            f"p50 {run['latency_ms']['p50']:6.3f} ms  "
+            f"p95 {run['latency_ms']['p95']:6.3f} ms  "
+            f"p99 {run['latency_ms']['p99']:6.3f} ms  {verdict}"
+        )
+    report = {
+        "benchmark": "bench_serve_scenarios",
+        "store": args.scenario_store,
+        "events": args.scenario_events,
+        "seed": args.seed,
+        "p95_ceiling_ms": args.scenario_p95_ms,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "ok": ok,
+        "runs": runs,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"[report written to {args.out}]")
+    if not ok:
+        print("FAILED: scenario replay gates broken (see above)")
+        return 1
     return 0
 
 

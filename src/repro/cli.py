@@ -14,6 +14,10 @@ pack
     Convert a JSON oracle (v1-v3) to the v4 binary store.
 serve
     Register packed stores as terrains and serve queries (REPL).
+ingest
+    Ingest a real DEM raster (.asc / .tif) into a servable oracle.
+workload
+    Generate / replay seeded scenario workload files (JSONL).
 bench
     Run one of the paper's experiments (fig8..fig14, table1..table3).
 
@@ -33,6 +37,10 @@ Examples
         --out tiled.store
     python -m repro serve alps=oracle.store --repl
     python -m repro serve alps=tiled.store --max-resident-tiles 2 --repl
+    python -m repro ingest dem.asc --poi-file pois.csv --out real.store
+    python -m repro workload gen moving-agents --store real.store \
+        --terrain alps --out agents.jsonl
+    python -m repro workload replay agents.jsonl --port 4170
     python -m repro bench fig8 --scale tiny
 """
 
@@ -177,6 +185,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batching linger in microseconds (0 = "
                             "work-conserving natural batching)")
 
+    ingest = commands.add_parser(
+        "ingest", help="ingest a real DEM (.asc / .tif) into a "
+                       "servable oracle store")
+    ingest.add_argument("dem", help="DEM raster: ESRI ASCII grid "
+                                    "(.asc) or uncompressed GeoTIFF "
+                                    "(.tif/.tiff)")
+    ingest.add_argument("--out", required=True,
+                        help="oracle output (.store, or .json)")
+    ingest.add_argument("--poi-file", default=None, metavar="CSV",
+                        help="POIs as 'name,lat,lon' lines; without "
+                             "it, --pois surface points are sampled")
+    ingest.add_argument("--pois", type=int, default=20,
+                        help="sampled POI count when no --poi-file")
+    ingest.add_argument("--poi-seed", type=int, default=1)
+    ingest.add_argument("--decimate", type=int, default=1, metavar="K",
+                        help="keep every K-th row/column of the grid")
+    ingest.add_argument("--z-scale", type=float, default=1.0,
+                        help="multiply elevations (vertical "
+                             "exaggeration)")
+    ingest.add_argument("--epsilon", type=float, default=0.1)
+    ingest.add_argument("--density", type=int, default=1)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--jobs", type=int, default=1)
+    ingest.add_argument("--slack", type=float, default=0.05,
+                        help="haversine-gate tolerance on top of "
+                             "epsilon (projection distortion budget)")
+    ingest.add_argument("--mesh-out", default=None, metavar="MESH",
+                        help="also write the triangulated terrain "
+                             "(.off or .obj)")
+
+    workload = commands.add_parser(
+        "workload", help="generate or replay scenario workload files")
+    actions = workload.add_subparsers(dest="action", required=True)
+    gen = actions.add_parser(
+        "gen", help="generate a seeded scenario workload (JSONL)")
+    gen.add_argument("scenario", choices=("moving-agents",
+                                          "range-alerts",
+                                          "coverage-audit"))
+    gen.add_argument("--out", required=True,
+                     help="workload output (.jsonl)")
+    gen.add_argument("--terrain", default="terrain",
+                     help="terrain id the events address")
+    gen.add_argument("--store", default=None, metavar="STORE",
+                     help="packed oracle store; pins num-pois and "
+                          "derives the default alert radius")
+    gen.add_argument("--num-pois", type=int, default=None,
+                     help="POI count (required without --store)")
+    gen.add_argument("--events", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--agents", type=int, default=4,
+                     help="moving-agents: concurrent agents")
+    gen.add_argument("--k", type=int, default=3,
+                     help="moving-agents: neighbours per query")
+    gen.add_argument("--radius", type=float, default=None,
+                     help="range-alerts: base geofence radius "
+                          "(default: median store distance)")
+    gen.add_argument("--sentinels", type=int, default=3,
+                     help="range-alerts: sentinel POI count")
+    replay = actions.add_parser(
+        "replay", help="replay a workload file against a live server")
+    replay.add_argument("workload", help="workload file from 'gen'")
+    replay.add_argument("--host", default="127.0.0.1")
+    replay.add_argument("--port", type=int, required=True)
+    replay.add_argument("--terrain", default=None,
+                        help="override the file's terrain id")
+
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
                        choices=["fig8", "fig9", "fig10", "fig11", "fig12",
@@ -273,6 +347,26 @@ def _cmd_build_tiled(args) -> int:
     return 0
 
 
+def _check_poi_ids(index, ids) -> bool:
+    """POI-id bounds check shared by the query paths.
+
+    Out-of-range ids used to fall through to the tree lookup and die
+    with a raw ``KeyError`` traceback; they are a *user input* error,
+    so they surface as the protocol's typed ``error[unknown-poi]``
+    line instead (same taxonomy the server and REPL speak).
+    """
+    from .serving.protocol import ProtocolError, describe_error
+    limit = index.num_pois
+    for value in ids:
+        if not 0 <= value < limit:
+            print(describe_error(ProtocolError(
+                "unknown-poi",
+                f"POI id {value} is outside this oracle's "
+                f"0..{limit - 1} range")), file=sys.stderr)
+            return False
+    return True
+
+
 def _cmd_query(args) -> int:
     from .core import load_oracle, open_oracle
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
@@ -286,6 +380,8 @@ def _cmd_query(args) -> int:
         if args.source is None or args.target is None:
             print("error: source and target are required without --batch",
                   file=sys.stderr)
+            return 2
+        if not _check_poi_ids(stored, (args.source, args.target)):
             return 2
         started = time.perf_counter()
         distance = stored.query(args.source, args.target)
@@ -303,6 +399,8 @@ def _cmd_query(args) -> int:
     if args.source is None or args.target is None:
         print("error: source and target are required without --batch",
               file=sys.stderr)
+        return 2
+    if not _check_poi_ids(oracle, (args.source, args.target)):
         return 2
     started = time.perf_counter()
     distance = oracle.query(args.source, args.target)
@@ -340,6 +438,9 @@ def _run_query_batch(args, oracle) -> int:
     if not pairs:
         print("error: --batch needs S:T pairs and/or --random N",
               file=sys.stderr)
+        return 2
+    if not _check_poi_ids(
+            oracle, [poi for pair in pairs for poi in pair]):
         return 2
 
     # Both loaded JSON oracles and opened stores satisfy the
@@ -568,6 +669,173 @@ def _repl_loop(service) -> None:
             print(describe_error(error), file=sys.stderr)
 
 
+def _cmd_ingest(args) -> int:
+    """``ingest``: real DEM -> TIN -> POIs -> built, packed oracle.
+
+    For geographic grids the POIs keep their lat/lon identity, which
+    enables the haversine sanity gate: no oracle distance may undercut
+    the great-circle distance between the POIs' coordinates (beyond
+    epsilon + --slack).  A gate failure exits non-zero — it means the
+    ingested surface is geometrically wrong, not merely imprecise.
+    """
+    from .core import SEOracle, pack_oracle, save_oracle
+    from .geodesic import GeodesicEngine
+    from .terrain import write_mesh
+    from .terrain.ingest import (
+        IngestError,
+        dem_to_mesh,
+        haversine_gate,
+        place_pois,
+        read_dem,
+        read_poi_csv,
+        sample_poi_latlons,
+    )
+    try:
+        grid = read_dem(args.dem)
+        mesh, projection = dem_to_mesh(
+            grid, decimate=args.decimate, z_scale=args.z_scale)
+    except (IngestError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    nrows, ncols = grid.shape
+    kind = "geographic" if grid.is_geographic else "projected"
+    print(f"read {args.dem}: {nrows}x{ncols} cells "
+          f"({grid.valid_fraction * 100:.1f}% valid, {kind})"
+          + (f", decimated x{args.decimate}" if args.decimate > 1 else ""))
+    print(f"triangulated: {mesh.num_vertices} vertices / "
+          f"{mesh.num_faces} faces")
+
+    latlons = None
+    try:
+        if args.poi_file:
+            names, latlons = read_poi_csv(args.poi_file)
+            pois = place_pois(mesh, projection, latlons)
+            print(f"placed {len(pois)} POIs from {args.poi_file}: "
+                  + ", ".join(names[:8])
+                  + (" ..." if len(names) > 8 else ""))
+        elif projection is not None:
+            latlons = sample_poi_latlons(
+                mesh, projection, args.pois, seed=args.poi_seed)
+            pois = place_pois(mesh, projection, latlons)
+            print(f"sampled {len(pois)} surface POIs (seed "
+                  f"{args.poi_seed})")
+        else:
+            from .terrain import sample_uniform
+            pois = sample_uniform(mesh, args.pois, seed=args.poi_seed)
+            print(f"sampled {len(pois)} surface POIs (seed "
+                  f"{args.poi_seed}; projected grid, no haversine "
+                  "gate)")
+    except IngestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.mesh_out:
+        write_mesh(mesh, args.mesh_out)
+        print(f"wrote TIN to {args.mesh_out}")
+
+    engine = GeodesicEngine(mesh, pois, points_per_edge=args.density)
+    started = time.perf_counter()
+    oracle = SEOracle(engine, args.epsilon, seed=args.seed,
+                      jobs=args.jobs).build()
+    elapsed = time.perf_counter() - started
+    if args.out.endswith(".json"):
+        save_oracle(oracle, args.out)
+    else:
+        pack_oracle(oracle, args.out)
+    print(f"built in {elapsed:.2f}s: n={engine.num_pois} "
+          f"h={oracle.height} pairs={oracle.num_pairs} -> {args.out}")
+
+    if latlons is not None:
+        report = haversine_gate(
+            oracle, latlons, args.epsilon, slack=args.slack)
+        print(f"haversine gate: {report['pairs_checked']} pairs, "
+              f"min oracle/great-circle ratio "
+              f"{report['min_ratio']:.3f} "
+              f"(floor {report['floor']:.3f})")
+        if not report["ok"]:
+            for failure in report["failures"][:5]:
+                print(f"error: d({failure['source']}, "
+                      f"{failure['target']}) = "
+                      f"{failure['oracle_m']:.1f} m undercuts the "
+                      f"{failure['haversine_m']:.1f} m great-circle "
+                      f"lower bound (ratio {failure['ratio']:.3f})",
+                      file=sys.stderr)
+            print(f"error: haversine sanity gate failed on "
+                  f"{len(report['failures'])} pair(s)", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    if args.action == "gen":
+        return _cmd_workload_gen(args)
+    return _cmd_workload_replay(args)
+
+
+def _cmd_workload_gen(args) -> int:
+    from .serving.workloads import (
+        WorkloadError,
+        dumps_workload,
+        generate_workload,
+    )
+    radius = args.radius
+    if args.store:
+        from .core import open_oracle
+        stored = open_oracle(args.store)
+        num_pois = stored.num_pois
+        if radius is None and args.scenario == "range-alerts":
+            import numpy as np
+            matrix = stored.query_matrix()
+            off_diagonal = matrix[~np.eye(num_pois, dtype=bool)]
+            radius = round(float(np.median(off_diagonal)), 3)
+            print(f"derived radius {radius} m from {args.store} "
+                  "(median pairwise distance)")
+    elif args.num_pois is not None:
+        num_pois = args.num_pois
+    else:
+        print("error: workload gen needs --store or --num-pois",
+              file=sys.stderr)
+        return 2
+    try:
+        generated = generate_workload(
+            args.scenario, args.terrain, num_pois, args.events,
+            seed=args.seed, agents=args.agents, k=args.k,
+            radius=1000.0 if radius is None else radius,
+            sentinels=args.sentinels)
+    except WorkloadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with open(args.out, "w", newline="\n") as handle:
+        handle.write(dumps_workload(generated))
+    counts = " ".join(f"{op}x{count}" for op, count
+                      in sorted(generated.op_counts().items()))
+    print(f"wrote {len(generated.events)} events ({counts}) "
+          f"for terrain {args.terrain!r} -> {args.out}")
+    return 0
+
+
+def _cmd_workload_replay(args) -> int:
+    from .serving.loadgen import replay_workload
+    from .serving.workloads import WorkloadError, check_events, \
+        read_workload
+    try:
+        loaded = read_workload(args.workload)
+        check_events(loaded.events, loaded.num_pois)
+    except (WorkloadError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    terrain = args.terrain or loaded.terrain
+    report = replay_workload(args.host, args.port, terrain,
+                             loaded.events)
+    print(f"replayed {report.requests} events "
+          f"({loaded.scenario}, seed {loaded.seed}) against "
+          f"{terrain!r} in {report.elapsed_s:.2f}s "
+          f"-> {report.qps:,.0f} q/s, {report.errors} errors")
+    for op, stats in report.op_latency_ms.items():
+        print(f"  {op}: p50={stats['p50']:.3f} ms "
+              f"p95={stats['p95']:.3f} ms p99={stats['p99']:.3f} ms")
+    return 1 if report.errors else 0
+
+
 def _cmd_bench(args) -> int:
     from . import experiments
     runners = {
@@ -596,6 +864,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "pack": _cmd_pack,
     "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
+    "workload": _cmd_workload,
     "bench": _cmd_bench,
 }
 

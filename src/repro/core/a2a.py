@@ -137,6 +137,12 @@ class A2AOracle:
         return self._oracle
 
     @property
+    def engine(self) -> GeodesicEngine:
+        """The build-time engine (its counters stay at rest during
+        queries: A2A answers go through the compiled tables only)."""
+        return self._engine
+
+    @property
     def num_sites(self) -> int:
         return len(self._sites)
 

@@ -29,6 +29,14 @@ from .service import (
     TerrainCounters,
     TerrainSpec,
 )
+from .workloads import (
+    SCENARIOS,
+    Workload,
+    WorkloadError,
+    generate_workload,
+    read_workload,
+    write_workload,
+)
 
 __all__ = [
     "MutableRegistration",
@@ -42,4 +50,10 @@ __all__ = [
     "WorkerFleet",
     "build_service",
     "run_workers",
+    "SCENARIOS",
+    "Workload",
+    "WorkloadError",
+    "generate_workload",
+    "read_workload",
+    "write_workload",
 ]

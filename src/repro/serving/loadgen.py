@@ -45,9 +45,12 @@ __all__ = [
     "ServerError",
     "OracleClient",
     "LoadReport",
+    "ReplayReport",
     "sample_pairs",
     "closed_loop",
     "open_loop",
+    "replay_workload",
+    "replay_direct",
 ]
 
 
@@ -226,6 +229,158 @@ def percentiles_ms(latencies: Sequence[float]) -> Dict[str, float]:
         "p99": round(at(0.99), 4),
         "max": round(ordered[-1] * 1e3, 4),
     }
+
+
+# ----------------------------------------------------------------------
+# scenario replay: sequential, raw-byte-capturing
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """What one workload-file replay measured and received.
+
+    ``response_bytes`` is the raw concatenated reply stream — the
+    byte-identity acceptance check ("replaying the same seeded workload
+    twice yields byte-identical response streams") compares these
+    directly, so no decode/re-encode step can mask a drift.
+    """
+
+    terrain: str
+    requests: int
+    errors: int
+    elapsed_s: float
+    qps: float
+    latency_ms: Dict[str, float]
+    #: per-op latency percentiles, e.g. {"knn": {"p50": ...}, ...}
+    op_latency_ms: Dict[str, Dict[str, float]]
+    response_bytes: bytes = field(repr=False, default=b"")
+    #: decoded ``result`` payloads aligned with events (None on error)
+    results: List[Optional[Dict[str, Any]]] = field(
+        repr=False, default_factory=list
+    )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "terrain": self.terrain,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "qps": round(self.qps, 2),
+            "latency_ms": self.latency_ms,
+            "op_latency_ms": self.op_latency_ms,
+        }
+
+
+def replay_workload(
+    host: str,
+    port: int,
+    terrain: str,
+    events: Sequence[Dict[str, Any]],
+    timeout: float = 60.0,
+) -> ReplayReport:
+    """Replay workload events sequentially over one connection.
+
+    Event order is the workload file's order and ``request_id`` is the
+    event index, so the reply stream is a pure function of (server
+    state, workload file) — replaying twice must produce identical
+    bytes.  Typed error replies are counted, not raised: a scenario
+    file probing error paths is still a valid workload.
+    """
+    latencies: List[float] = []
+    by_op: Dict[str, List[float]] = {}
+    results: List[Optional[Dict[str, Any]]] = []
+    raw = bytearray()
+    errors = 0
+    with OracleClient(host, port, timeout=timeout) as client:
+        stream = client.stream
+        began = time.perf_counter()
+        for index, event in enumerate(events):
+            fields = {
+                key: value for key, value in event.items() if key != "op"
+            }
+            line = protocol.encode(
+                protocol.request(
+                    event["op"], request_id=index, terrain=terrain, **fields
+                )
+            )
+            tick = time.perf_counter()
+            stream.write(line)
+            stream.flush()
+            reply_line = stream.readline()
+            took = time.perf_counter() - tick
+            if not reply_line:
+                raise ConnectionError("server closed the connection mid-replay")
+            latencies.append(took)
+            by_op.setdefault(event["op"], []).append(took)
+            raw += reply_line
+            reply = json.loads(reply_line)
+            if reply.get("ok"):
+                results.append(reply["result"])
+            else:
+                results.append(None)
+                errors += 1
+        elapsed = time.perf_counter() - began
+    return ReplayReport(
+        terrain=terrain,
+        requests=len(events),
+        errors=errors,
+        elapsed_s=elapsed,
+        qps=len(events) / elapsed if elapsed > 0 else 0.0,
+        latency_ms=percentiles_ms(latencies),
+        op_latency_ms={
+            op: percentiles_ms(samples) for op, samples in sorted(by_op.items())
+        },
+        response_bytes=bytes(raw),
+        results=results,
+    )
+
+
+def replay_direct(
+    service: Any, terrain: str, events: Sequence[Dict[str, Any]]
+) -> List[Optional[Dict[str, Any]]]:
+    """Answer workload events directly on an ``OracleService``.
+
+    Returns result payloads shaped exactly like the server's wire
+    results (same keys, same int/float coercions), so a networked
+    replay can be equivalence-gated with ``==`` against this reference.
+    Events the service rejects yield ``None``, mirroring the error
+    slots of :func:`replay_workload`.
+    """
+    reference: List[Optional[Dict[str, Any]]] = []
+    for event in events:
+        op = event["op"]
+        try:
+            if op == "query":
+                distance = service.query(
+                    terrain, event["source"], event["target"]
+                )
+                reference.append({"distance": float(distance)})
+            elif op == "batch":
+                distances = service.query_batch(
+                    terrain, event["sources"], event["targets"]
+                )
+                reference.append(
+                    {"distances": [float(value) for value in distances]}
+                )
+            elif op == "knn":
+                hits = service.k_nearest(terrain, event["source"], event["k"])
+                reference.append(
+                    {"neighbors": [[int(poi), float(d)] for poi, d in hits]}
+                )
+            elif op == "range":
+                hits = service.range_query(
+                    terrain, event["source"], event["radius"]
+                )
+                reference.append(
+                    {"hits": [[int(poi), float(d)] for poi, d in hits]}
+                )
+            elif op == "rnn":
+                pois = service.reverse_nearest(terrain, event["source"])
+                reference.append({"pois": [int(poi) for poi in pois]})
+            else:
+                reference.append(None)
+        except (KeyError, IndexError, ValueError):
+            reference.append(None)
+    return reference
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,301 @@
+"""Seeded, versioned, replayable scenario workloads.
+
+PR 6's serve benchmark drives the server with uniform random query
+pairs — fine for throughput curves, useless as *product traffic*.
+This module defines a JSON-lines workload format plus generators for
+three product-shaped scenarios:
+
+``moving-agents``
+    Agents wandering the terrain (the game-portals / wildlife-tracking
+    examples), each step asking for its k nearest POIs.
+``range-alerts``
+    Sentinel POIs repeatedly sweeping a geofence radius around
+    themselves (avalanche / wildlife-proximity alerting).
+``coverage-audit``
+    A reverse-nearest-neighbour sweep over every POI, auditing which
+    facilities "own" which demand (the RNN coverage question).
+
+File format (one JSON object per line, compact, keys sorted — so the
+same seed regenerates the same *bytes*)::
+
+    {"events":N,"format":"repro-workload","num_pois":...,"params":{...},
+     "scenario":"moving-agents","seed":7,"terrain":"alps","version":1}
+    {"k":3,"op":"knn","source":12}
+    {"op":"range","radius":850.0,"source":4}
+    ...
+
+The header pins scenario, seed and parameters; events carry exactly
+the fields the server op of the same name takes (minus ``terrain``,
+which the header pins once).  Replays are sequential on one
+connection, so a workload file replayed twice against the same server
+yields byte-identical response streams — that equivalence is gated in
+CI by ``benchmarks/bench_serve.py --scenario-store``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "WORKLOAD_FORMAT",
+    "WORKLOAD_VERSION",
+    "SCENARIOS",
+    "WorkloadError",
+    "Workload",
+    "generate_workload",
+    "dumps_workload",
+    "loads_workload",
+    "write_workload",
+    "read_workload",
+    "check_events",
+]
+
+WORKLOAD_FORMAT = "repro-workload"
+WORKLOAD_VERSION = 1
+SCENARIOS = ("moving-agents", "range-alerts", "coverage-audit")
+
+#: ops an event line may carry, with their required fields
+_EVENT_FIELDS = {
+    "query": ("source", "target"),
+    "knn": ("source", "k"),
+    "range": ("source", "radius"),
+    "rnn": ("source",),
+}
+
+
+class WorkloadError(ValueError):
+    """Malformed workload file or unusable generation parameters."""
+
+
+def _dump(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A parsed (or freshly generated) workload: header + events."""
+
+    scenario: str
+    terrain: str
+    seed: int
+    num_pois: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def header(self) -> Dict[str, Any]:
+        return {
+            "format": WORKLOAD_FORMAT,
+            "version": WORKLOAD_VERSION,
+            "scenario": self.scenario,
+            "terrain": self.terrain,
+            "seed": self.seed,
+            "num_pois": self.num_pois,
+            "params": self.params,
+            "events": len(self.events),
+        }
+
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event["op"]] = counts.get(event["op"], 0) + 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def _moving_agents(
+    rng: random.Random,
+    num_pois: int,
+    events: int,
+    agents: int,
+    k: int,
+    respawn: float,
+) -> List[Dict[str, Any]]:
+    """Agents random-walking over POI sites, streaming kNN queries.
+
+    Each agent sits at a POI and drifts to a nearby one per step (with
+    an occasional respawn — a player teleporting, a collared animal
+    released elsewhere), asking for its ``k`` nearest POIs from the new
+    position.
+    """
+    positions = [rng.randrange(num_pois) for _ in range(agents)]
+    k = max(1, min(k, num_pois - 1))
+    out = []
+    for _ in range(events):
+        agent = rng.randrange(agents)
+        if rng.random() < respawn:
+            positions[agent] = rng.randrange(num_pois)
+        else:
+            step = rng.choice((-2, -1, 1, 2))
+            positions[agent] = (positions[agent] + step) % num_pois
+        out.append({"op": "knn", "source": positions[agent], "k": k})
+    return out
+
+
+def _range_alerts(
+    rng: random.Random,
+    num_pois: int,
+    events: int,
+    radius: float,
+    sentinels: int,
+) -> List[Dict[str, Any]]:
+    """Sentinel POIs sweeping geofence radii around themselves."""
+    if radius <= 0:
+        raise WorkloadError(f"range-alerts needs a positive radius, got {radius}")
+    chosen = rng.sample(range(num_pois), min(sentinels, num_pois))
+    out = []
+    for _ in range(events):
+        source = rng.choice(chosen)
+        swept = round(radius * (0.5 + rng.random()), 3)
+        out.append({"op": "range", "source": source, "radius": swept})
+    return out
+
+
+def _coverage_audit(
+    rng: random.Random, num_pois: int, events: int
+) -> List[Dict[str, Any]]:
+    """RNN sweep over every POI in a seeded shuffled order, cycling."""
+    order = list(range(num_pois))
+    rng.shuffle(order)
+    return [{"op": "rnn", "source": order[i % num_pois]} for i in range(events)]
+
+
+def generate_workload(
+    scenario: str,
+    terrain: str,
+    num_pois: int,
+    events: int,
+    seed: int = 0,
+    agents: int = 4,
+    k: int = 3,
+    radius: float = 1000.0,
+    sentinels: int = 3,
+    respawn: float = 0.05,
+) -> Workload:
+    """Generate a seeded scenario workload (byte-reproducible)."""
+    if num_pois < 2:
+        raise WorkloadError(f"need at least 2 POIs, got {num_pois}")
+    if events < 1:
+        raise WorkloadError(f"need at least 1 event, got {events}")
+    rng = random.Random(seed)
+    if scenario == "moving-agents":
+        params: Dict[str, Any] = {"agents": agents, "k": k, "respawn": respawn}
+        generated = _moving_agents(rng, num_pois, events, agents, k, respawn)
+    elif scenario == "range-alerts":
+        params = {"radius": radius, "sentinels": sentinels}
+        generated = _range_alerts(rng, num_pois, events, radius, sentinels)
+    elif scenario == "coverage-audit":
+        params = {}
+        generated = _coverage_audit(rng, num_pois, events)
+    else:
+        raise WorkloadError(
+            f"unknown scenario {scenario!r}; choose from {', '.join(SCENARIOS)}"
+        )
+    return Workload(
+        scenario=scenario,
+        terrain=terrain,
+        seed=seed,
+        num_pois=num_pois,
+        params=params,
+        events=generated,
+    )
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation
+# ----------------------------------------------------------------------
+def dumps_workload(workload: Workload) -> str:
+    """Serialise to the canonical byte-stable JSONL text."""
+    lines = [_dump(workload.header)]
+    lines.extend(_dump(event) for event in workload.events)
+    return "\n".join(lines) + "\n"
+
+
+def write_workload(workload: Workload, path) -> None:
+    with open(path, "w", newline="\n") as handle:
+        handle.write(dumps_workload(workload))
+
+
+def _validate_event(event: Dict[str, Any], line_no: int) -> Dict[str, Any]:
+    op = event.get("op")
+    if op not in _EVENT_FIELDS:
+        raise WorkloadError(
+            f"line {line_no}: unknown op {op!r}; "
+            f"expected one of {', '.join(sorted(_EVENT_FIELDS))}"
+        )
+    for required in _EVENT_FIELDS[op]:
+        if required not in event:
+            raise WorkloadError(
+                f"line {line_no}: op {op!r} is missing field {required!r}"
+            )
+    return event
+
+
+def loads_workload(text: str) -> Workload:
+    """Parse and validate workload JSONL text."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise WorkloadError("empty workload file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise WorkloadError(f"line 1: not JSON ({error})") from None
+    if not isinstance(header, dict) or header.get("format") != WORKLOAD_FORMAT:
+        raise WorkloadError(
+            f"line 1: not a {WORKLOAD_FORMAT} header (missing format marker)"
+        )
+    version = header.get("version")
+    if version != WORKLOAD_VERSION:
+        raise WorkloadError(
+            f"unsupported workload version {version!r} "
+            f"(this reader speaks version {WORKLOAD_VERSION})"
+        )
+    for key in ("scenario", "terrain", "seed", "num_pois", "events"):
+        if key not in header:
+            raise WorkloadError(f"line 1: header is missing {key!r}")
+    events = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise WorkloadError(f"line {line_no}: not JSON ({error})") from None
+        events.append(_validate_event(event, line_no))
+    if len(events) != header["events"]:
+        raise WorkloadError(
+            f"header promises {header['events']} events, file has "
+            f"{len(events)} (truncated or over-full workload)"
+        )
+    return Workload(
+        scenario=header["scenario"],
+        terrain=header["terrain"],
+        seed=header["seed"],
+        num_pois=header["num_pois"],
+        params=header.get("params", {}),
+        events=events,
+    )
+
+
+def read_workload(path) -> Workload:
+    with open(path) as handle:
+        return loads_workload(handle.read())
+
+
+def check_events(
+    events: Sequence[Dict[str, Any]], num_pois: Optional[int]
+) -> None:
+    """Pre-flight id bounds check before replaying against a server."""
+    if num_pois is None:
+        return
+    for index, event in enumerate(events):
+        for key in ("source", "target"):
+            value = event.get(key)
+            if value is not None and not (0 <= value < num_pois):
+                raise WorkloadError(
+                    f"event {index}: {key}={value} outside the terrain's "
+                    f"0..{num_pois - 1} POI range"
+                )

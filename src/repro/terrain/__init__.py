@@ -8,6 +8,20 @@ from .generation import (
     refine_centroid,
     simplify_grid,
 )
+from .ingest import (
+    DEMGrid,
+    IngestError,
+    LocalProjection,
+    dem_to_mesh,
+    haversine_gate,
+    haversine_m,
+    place_pois,
+    read_asc,
+    read_dem,
+    read_geotiff,
+    read_poi_csv,
+    sample_poi_latlons,
+)
 from .io import read_mesh, read_obj, read_off, write_mesh, write_obj, write_off
 from .mesh import MeshError, TriangleMesh
 from .metrics import TerrainStatistics, terrain_statistics
@@ -47,4 +61,16 @@ __all__ = [
     "ValidationReport",
     "connected_components",
     "validate_mesh",
+    "DEMGrid",
+    "IngestError",
+    "LocalProjection",
+    "dem_to_mesh",
+    "haversine_gate",
+    "haversine_m",
+    "place_pois",
+    "read_asc",
+    "read_dem",
+    "read_geotiff",
+    "read_poi_csv",
+    "sample_poi_latlons",
 ]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -393,3 +395,144 @@ class TestServeMutable:
         assert '"updates": 2' in captured.out    # stats JSON block
         assert '"flushes": 1' in captured.out
         assert "not mutable" in captured.err
+
+
+class TestUnknownPoiErrors:
+    """Out-of-range POI ids surface as typed errors, not tracebacks."""
+
+    @pytest.fixture()
+    def oracle_file(self, terrain_file, tmp_path):
+        path = tmp_path / "oracle.json"
+        assert main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.2", "--out", str(path)]) == 0
+        return path
+
+    def test_scalar_query_out_of_range(self, terrain_file, oracle_file,
+                                       capsys):
+        code = main(["query", str(terrain_file), str(oracle_file),
+                     "--pois", "10", "3", "99"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error[unknown-poi]" in err
+        assert "99" in err and "0..9" in err
+
+    def test_batch_query_out_of_range(self, terrain_file, oracle_file,
+                                      capsys):
+        code = main(["query", str(terrain_file), str(oracle_file),
+                     "--pois", "10", "--batch", "1:2", "5:42"])
+        assert code == 2
+        assert "error[unknown-poi]" in capsys.readouterr().err
+
+    def test_store_query_out_of_range(self, terrain_file, oracle_file,
+                                      tmp_path, capsys):
+        store = tmp_path / "oracle.store"
+        assert main(["pack", str(oracle_file), "--out", str(store)]) == 0
+        code = main(["query", str(terrain_file), str(store), "--pois",
+                     "10", "--store", "0", "10"])
+        assert code == 2
+        assert "error[unknown-poi]" in capsys.readouterr().err
+
+    def test_in_range_still_works(self, terrain_file, oracle_file,
+                                  capsys):
+        assert main(["query", str(terrain_file), str(oracle_file),
+                     "--pois", "10", "0", "9"]) == 0
+        assert "d(0, 9)" in capsys.readouterr().out
+
+
+class TestIngest:
+    DATA = pathlib.Path(__file__).parent / "data"
+
+    def test_asc_fixture_to_servable_store(self, tmp_path, capsys):
+        store = tmp_path / "dem.store"
+        code = main(["ingest", str(self.DATA / "dem_fixture.asc"),
+                     "--poi-file", str(self.DATA / "dem_pois.csv"),
+                     "--out", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "haversine gate" in out
+        assert store.exists()
+        from repro.serving import OracleService, TerrainSpec
+        service = OracleService()
+        service.register("real", TerrainSpec(str(store)))
+        assert service.query("real", 0, 1) > 0.0
+
+    def test_geotiff_with_sampled_pois(self, tmp_path, capsys):
+        store = tmp_path / "dem.store"
+        code = main(["ingest", str(self.DATA / "dem_fixture.tif"),
+                     "--pois", "5", "--decimate", "2",
+                     "--out", str(store)])
+        assert code == 0
+        assert "haversine gate" in capsys.readouterr().out
+
+    def test_mesh_out(self, tmp_path):
+        mesh_path = tmp_path / "dem.off"
+        assert main(["ingest", str(self.DATA / "dem_fixture.asc"),
+                     "--pois", "4", "--out", str(tmp_path / "d.store"),
+                     "--mesh-out", str(mesh_path)]) == 0
+        from repro.terrain import read_mesh
+        assert read_mesh(mesh_path).num_vertices == 316
+
+    def test_malformed_dem_is_typed_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asc"
+        bad.write_text("ncols 4\nnrows 4\n")
+        code = main(["ingest", str(bad), "--out",
+                     str(tmp_path / "d.store")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_poi_outside_extent_is_typed_error(self, tmp_path, capsys):
+        pois = tmp_path / "far.csv"
+        pois.write_text("name,lat,lon\nfaraway,47.5,8.9\n")
+        code = main(["ingest", str(self.DATA / "dem_fixture.asc"),
+                     "--poi-file", str(pois),
+                     "--out", str(tmp_path / "d.store")])
+        assert code == 2
+        assert "outside" in capsys.readouterr().err
+
+
+class TestWorkloadVerb:
+    DATA = pathlib.Path(__file__).parent / "data"
+
+    def test_gen_needs_poi_count(self, tmp_path, capsys):
+        code = main(["workload", "gen", "coverage-audit",
+                     "--out", str(tmp_path / "w.jsonl")])
+        assert code == 2
+        assert "--store or --num-pois" in capsys.readouterr().err
+
+    def test_gen_writes_replayable_file(self, tmp_path, capsys):
+        out = tmp_path / "agents.jsonl"
+        code = main(["workload", "gen", "moving-agents", "--num-pois",
+                     "8", "--events", "30", "--seed", "3",
+                     "--terrain", "alps", "--out", str(out)])
+        assert code == 0
+        from repro.serving.workloads import read_workload
+        loaded = read_workload(out)
+        assert loaded.scenario == "moving-agents"
+        assert len(loaded.events) == 30
+
+    def test_gen_and_replay_against_server(self, tmp_path, capsys):
+        store = tmp_path / "dem.store"
+        assert main(["ingest", str(self.DATA / "dem_fixture.asc"),
+                     "--poi-file", str(self.DATA / "dem_pois.csv"),
+                     "--out", str(store)]) == 0
+        out = tmp_path / "audit.jsonl"
+        assert main(["workload", "gen", "coverage-audit", "--store",
+                     str(store), "--terrain", "real", "--events", "12",
+                     "--out", str(out)]) == 0
+        from repro.serving import OracleService, TerrainSpec, \
+            ThreadedServer
+        service = OracleService()
+        service.register("real", TerrainSpec(str(store)))
+        with ThreadedServer(service) as server:
+            code = main(["workload", "replay", str(out), "--host",
+                         server.host, "--port", str(server.port)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replayed 12 events" in output
+        assert "rnn: p50=" in output
+
+    def test_replay_missing_file(self, tmp_path, capsys):
+        code = main(["workload", "replay", str(tmp_path / "nope.jsonl"),
+                     "--port", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

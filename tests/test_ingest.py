@@ -1,0 +1,379 @@
+"""Tests for real-DEM ingestion (terrain/ingest.py)."""
+
+import math
+import pathlib
+import struct
+
+import numpy as np
+import pytest
+
+from repro.terrain.ingest import (
+    EARTH_RADIUS_M,
+    DEMGrid,
+    IngestError,
+    LocalProjection,
+    dem_to_mesh,
+    haversine_gate,
+    haversine_m,
+    place_pois,
+    read_asc,
+    read_dem,
+    read_geotiff,
+    read_poi_csv,
+    sample_poi_latlons,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+ASC_FIXTURE = DATA / "dem_fixture.asc"
+TIF_FIXTURE = DATA / "dem_fixture.tif"
+POI_FIXTURE = DATA / "dem_pois.csv"
+
+
+def write_asc(path, heights, cellsize=0.001, xll=7.0, yll=46.0,
+              nodata=-9999.0, corner=True):
+    nrows, ncols = heights.shape
+    xkey, ykey = ("xllcorner", "yllcorner") if corner else \
+        ("xllcenter", "yllcenter")
+    lines = [f"ncols {ncols}", f"nrows {nrows}", f"{xkey} {xll}",
+             f"{ykey} {yll}", f"cellsize {cellsize}",
+             f"NODATA_value {nodata}"]
+    for row in heights:
+        lines.append(" ".join(f"{v:.2f}" for v in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_minimal_tiff(path, heights, *, compression=1, magic=42,
+                       georef=True, truncate_strip=False):
+    """A little-endian single-strip float32 TIFF, optionally broken."""
+    nrows, ncols = heights.shape
+    data = heights.astype("<f4").tobytes()
+    if truncate_strip:
+        data = data[: len(data) // 2]
+    scale = struct.pack("<3d", 0.001, 0.001, 0.0)
+    tiepoint = struct.pack("<6d", 0.0, 0.0, 0.0, 7.0, 46.0 + nrows * 0.001,
+                           0.0)
+    nodata = b"-9999\x00"
+
+    def inline(fmt, *values):
+        return struct.pack(fmt, *values).ljust(4, b"\x00")
+
+    entries = [
+        (256, 3, 1, None), (257, 3, 1, None), (258, 3, 1, None),
+        (259, 3, 1, None), (273, 4, 1, None), (277, 3, 1, None),
+        (278, 3, 1, None), (279, 4, 1, None), (339, 3, 1, None),
+        (42113, 2, len(nodata), None),
+    ]
+    if georef:
+        entries += [(33550, 12, 3, None), (33922, 12, 6, None)]
+    entries.sort(key=lambda e: e[0])
+    ifd_offset = 8
+    ifd_size = 2 + len(entries) * 12 + 4
+    extra_offset = ifd_offset + ifd_size
+    extra = bytearray()
+    deferred = {}
+    for tag, payload in ((33550, scale), (33922, tiepoint),
+                         (42113, nodata)):
+        deferred[tag] = extra_offset + len(extra)
+        extra += payload
+    strip_offset = extra_offset + len(extra)
+    values = {
+        256: inline("<H", ncols),
+        257: inline("<H", nrows),
+        258: inline("<H", 32),
+        259: inline("<H", compression),
+        273: inline("<I", strip_offset),
+        277: inline("<H", 1),
+        278: inline("<H", nrows),
+        279: inline("<I", len(data)),
+        339: inline("<H", 3),
+        33550: struct.pack("<I", deferred[33550]),
+        33922: struct.pack("<I", deferred[33922]),
+        42113: struct.pack("<I", deferred[42113]),
+    }
+    out = bytearray()
+    out += b"II" + struct.pack("<HI", magic, ifd_offset)
+    out += struct.pack("<H", len(entries))
+    for tag, type_id, count, _ in entries:
+        out += struct.pack("<HHI", tag, type_id, count) + values[tag]
+    out += struct.pack("<I", 0)
+    out += extra + data
+    path.write_bytes(bytes(out))
+    return path
+
+
+class TestReadAsc:
+    def test_fixture_shape_and_values(self):
+        grid = read_asc(ASC_FIXTURE)
+        assert grid.shape == (16, 20)  # non-square on purpose
+        assert grid.is_geographic
+        valid = grid.heights[np.isfinite(grid.heights)]
+        assert 600.0 < valid.min() < valid.max() < 2500.0
+        # 4 nodata cells in the fixture became NaN.
+        assert np.isnan(grid.heights).sum() == 4
+
+    def test_cell_centre_coordinates(self, tmp_path):
+        grid = read_asc(write_asc(tmp_path / "g.asc",
+                                  np.ones((3, 4)), cellsize=0.5,
+                                  xll=10.0, yll=40.0))
+        # xllcorner: centre of column 0 is half a cell in.
+        assert grid.lons[0] == pytest.approx(10.25)
+        # Row 0 is the northern row: yll + (nrows - 0.5) * cell.
+        assert grid.lats[0] == pytest.approx(41.25)
+        assert grid.lats[-1] == pytest.approx(40.25)
+
+    def test_llcenter_variant(self, tmp_path):
+        grid = read_asc(write_asc(tmp_path / "g.asc",
+                                  np.ones((3, 4)), cellsize=0.5,
+                                  xll=10.0, yll=40.0, corner=False))
+        assert grid.lons[0] == pytest.approx(10.0)
+        assert grid.lats[-1] == pytest.approx(40.0)
+
+    def test_truncated_grid_rejected(self, tmp_path):
+        path = write_asc(tmp_path / "g.asc", np.ones((4, 4)))
+        text = path.read_text().splitlines()
+        path.write_text("\n".join(text[:-2]) + "\n")  # drop two rows
+        with pytest.raises(IngestError, match="truncated"):
+            read_asc(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.asc"
+        path.write_text("ncols 4\nnrows 4\ncellsize 1.0\n" + "1 " * 16)
+        with pytest.raises(IngestError, match="xllcorner"):
+            read_asc(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = write_asc(tmp_path / "g.asc", np.ones((3, 3)))
+        path.write_text(path.read_text().replace("1.00", "oops", 1))
+        with pytest.raises(IngestError, match="non-numeric"):
+            read_asc(path)
+
+    def test_degenerate_grid_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="at least 2x2"):
+            read_asc(write_asc(tmp_path / "g.asc", np.ones((1, 5))))
+
+
+class TestReadGeoTiff:
+    def test_fixture_matches_asc(self):
+        asc = read_asc(ASC_FIXTURE)
+        tif = read_geotiff(TIF_FIXTURE)
+        assert tif.shape == asc.shape
+        assert np.allclose(np.nan_to_num(tif.heights, nan=-1.0),
+                           np.nan_to_num(asc.heights, nan=-1.0),
+                           atol=1e-4)
+        assert np.allclose(tif.lats, asc.lats)
+        assert np.allclose(tif.lons, asc.lons)
+
+    def test_round_trip_meshes_agree(self):
+        mesh_a, _ = dem_to_mesh(read_asc(ASC_FIXTURE))
+        mesh_t, _ = dem_to_mesh(read_geotiff(TIF_FIXTURE))
+        assert mesh_a.num_vertices == mesh_t.num_vertices
+        assert mesh_a.num_faces == mesh_t.num_faces
+        assert np.allclose(mesh_a.vertices, mesh_t.vertices, atol=1e-3)
+
+    def test_not_a_tiff(self, tmp_path):
+        path = tmp_path / "x.tif"
+        path.write_bytes(b"OFF 1 2 3")
+        with pytest.raises(IngestError, match="byte-order"):
+            read_geotiff(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = write_minimal_tiff(tmp_path / "x.tif", np.ones((3, 3)),
+                                  magic=43)
+        with pytest.raises(IngestError, match="magic"):
+            read_geotiff(path)
+
+    def test_compressed_rejected(self, tmp_path):
+        path = write_minimal_tiff(tmp_path / "x.tif", np.ones((3, 3)),
+                                  compression=5)
+        with pytest.raises(IngestError, match="compression"):
+            read_geotiff(path)
+
+    def test_truncated_strip_rejected(self, tmp_path):
+        path = write_minimal_tiff(tmp_path / "x.tif",
+                                  np.ones((4, 4)), truncate_strip=True)
+        with pytest.raises(IngestError, match="truncated|strip"):
+            read_geotiff(path)
+
+    def test_missing_georeferencing_rejected(self, tmp_path):
+        path = write_minimal_tiff(tmp_path / "x.tif", np.ones((3, 3)),
+                                  georef=False)
+        with pytest.raises(IngestError, match="ModelPixelScale"):
+            read_geotiff(path)
+
+
+class TestReadDem:
+    def test_dispatch(self):
+        assert read_dem(ASC_FIXTURE).shape == (16, 20)
+        assert read_dem(TIF_FIXTURE).shape == (16, 20)
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "x.hgt"
+        path.write_text("")
+        with pytest.raises(IngestError, match="unsupported"):
+            read_dem(path)
+
+
+class TestDemToMesh:
+    def test_nodata_cells_become_holes(self):
+        grid = read_asc(ASC_FIXTURE)
+        mesh, projection = dem_to_mesh(grid)
+        assert projection is not None
+        assert mesh.num_vertices == int(np.isfinite(grid.heights).sum())
+        # A full 16x20 grid would have 2*15*19 = 570 faces; the nodata
+        # pocket removes some.
+        assert mesh.num_faces < 2 * 15 * 19
+
+    def test_edge_lengths_are_metres(self):
+        mesh, _ = dem_to_mesh(read_asc(ASC_FIXTURE))
+        width, height = mesh.xy_extent()
+        # 20 x 0.00083333 deg of longitude at ~46.4N is ~1.2 km.
+        assert 1000.0 < width < 1500.0
+        assert 1000.0 < height < 1600.0
+
+    def test_decimation(self):
+        grid = read_asc(ASC_FIXTURE)
+        full, _ = dem_to_mesh(grid)
+        coarse, _ = dem_to_mesh(grid, decimate=2)
+        assert coarse.num_vertices < full.num_vertices / 3
+        with pytest.raises(IngestError, match="factor"):
+            dem_to_mesh(grid, decimate=0)
+
+    def test_nodata_only_grid_rejected(self, tmp_path):
+        heights = np.full((4, 4), -9999.0)
+        path = write_asc(tmp_path / "g.asc", heights)
+        with pytest.raises(IngestError, match="nodata"):
+            dem_to_mesh(read_asc(path))
+
+    def test_too_sparse_grid_rejected(self, tmp_path):
+        # Valid cells only on a diagonal: no 2x2 block triangulates.
+        heights = np.full((4, 4), -9999.0)
+        np.fill_diagonal(heights, 100.0)
+        path = write_asc(tmp_path / "g.asc", heights)
+        with pytest.raises(IngestError, match="triangulatable"):
+            dem_to_mesh(read_asc(path))
+
+    def test_projected_grid_has_no_projection(self):
+        heights = np.ones((3, 3))
+        grid = DEMGrid(heights=heights,
+                       lats=np.array([2000.0, 1000.0, 0.0]),
+                       lons=np.array([0.0, 1000.0, 2000.0]))
+        assert not grid.is_geographic
+        mesh, projection = dem_to_mesh(grid)
+        assert projection is None
+        assert mesh.num_vertices == 9
+
+    def test_z_scale(self):
+        grid = read_asc(ASC_FIXTURE)
+        flat, _ = dem_to_mesh(grid, z_scale=0.0)
+        assert np.allclose(flat.vertices[:, 2], 0.0)
+
+
+class TestProjection:
+    def test_round_trip(self):
+        projection = LocalProjection(lat0=46.4, lon0=7.65)
+        lat, lon = projection.to_latlon(*projection.to_xy(46.41, 7.66))
+        assert lat == pytest.approx(46.41, abs=1e-12)
+        assert lon == pytest.approx(7.66, abs=1e-12)
+
+    def test_matches_haversine_locally(self):
+        projection = LocalProjection(lat0=46.4, lon0=7.65)
+        x, y = projection.to_xy(46.405, 7.655)
+        planar = math.hypot(x, y)
+        great_circle = haversine_m(46.4, 7.65, 46.405, 7.655)
+        assert planar == pytest.approx(great_circle, rel=1e-4)
+
+
+class TestPoiPlacement:
+    def test_fixture_pois_place(self):
+        mesh, projection = dem_to_mesh(read_asc(ASC_FIXTURE))
+        names, latlons = read_poi_csv(POI_FIXTURE)
+        pois = place_pois(mesh, projection, latlons)
+        assert len(pois) == len(names) == 6
+        heights = read_asc(ASC_FIXTURE).heights
+        valid = heights[np.isfinite(heights)]
+        for poi in pois:
+            assert valid.min() - 1.0 <= poi.z <= valid.max() + 1.0
+
+    def test_poi_outside_extent_rejected(self):
+        mesh, projection = dem_to_mesh(read_asc(ASC_FIXTURE))
+        with pytest.raises(IngestError, match="outside"):
+            place_pois(mesh, projection, [(47.5, 7.65)])
+
+    def test_duplicate_pois_rejected(self):
+        mesh, projection = dem_to_mesh(read_asc(ASC_FIXTURE))
+        _, latlons = read_poi_csv(POI_FIXTURE)
+        with pytest.raises(IngestError, match="duplicate"):
+            place_pois(mesh, projection, [latlons[0], latlons[0]])
+
+    def test_placement_needs_projection(self):
+        grid = DEMGrid(heights=np.ones((3, 3)),
+                       lats=np.array([2000.0, 1000.0, 0.0]),
+                       lons=np.array([0.0, 1000.0, 2000.0]))
+        mesh, projection = dem_to_mesh(grid)
+        with pytest.raises(IngestError, match="geographic"):
+            place_pois(mesh, projection, [(46.4, 7.65)])
+
+    def test_sampled_latlons_replace(self):
+        mesh, projection = dem_to_mesh(read_asc(ASC_FIXTURE))
+        latlons = sample_poi_latlons(mesh, projection, 8, seed=3)
+        assert latlons == sample_poi_latlons(mesh, projection, 8, seed=3)
+        pois = place_pois(mesh, projection, latlons)
+        assert len(pois) == 8
+
+    def test_poi_csv_errors(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text("name,lat,lon\nhut,46.4\n")
+        with pytest.raises(IngestError, match="name,lat,lon"):
+            read_poi_csv(path)
+        path.write_text("name,lat,lon\nhut,146.4,7.6\n")
+        with pytest.raises(IngestError, match="latitude"):
+            read_poi_csv(path)
+        path.write_text("name,lat,lon\n")
+        with pytest.raises(IngestError, match="no POI records"):
+            read_poi_csv(path)
+
+
+class TestHaversine:
+    def test_known_distance(self):
+        # One degree of latitude is ~111.2 km on the mean sphere.
+        one_degree = haversine_m(46.0, 7.0, 47.0, 7.0)
+        assert one_degree == pytest.approx(
+            EARTH_RADIUS_M * math.pi / 180.0, rel=1e-9)
+
+    def test_gate_passes_on_fixture_oracle(self):
+        from repro.core import SEOracle
+        from repro.geodesic import GeodesicEngine
+        mesh, projection = dem_to_mesh(read_asc(ASC_FIXTURE))
+        _, latlons = read_poi_csv(POI_FIXTURE)
+        pois = place_pois(mesh, projection, latlons)
+        engine = GeodesicEngine(mesh, pois, points_per_edge=1)
+        oracle = SEOracle(engine, 0.1).build()
+        report = haversine_gate(oracle, latlons, epsilon=0.1)
+        assert report["ok"], report["failures"]
+        assert report["pairs_checked"] == 15
+        # Terrain distance strictly exceeds the great-circle floor.
+        assert report["min_ratio"] > 1.0
+
+    def test_gate_flags_undercutting_index(self):
+        class ShrunkenIndex:
+            num_pois = 3
+
+            def query_matrix(self):
+                return np.full((3, 3), 1.0)  # 1 m between everything
+
+        latlons = [(46.40, 7.65), (46.41, 7.65), (46.40, 7.66)]
+        report = haversine_gate(ShrunkenIndex(), latlons, epsilon=0.1)
+        assert not report["ok"]
+        assert len(report["failures"]) == 3
+        assert report["min_ratio"] < 0.01
+
+    def test_gate_rejects_count_mismatch(self):
+        class Index:
+            num_pois = 4
+
+            def query_matrix(self):  # pragma: no cover - never reached
+                return np.zeros((4, 4))
+
+        with pytest.raises(IngestError, match="3 geographic"):
+            haversine_gate(Index(), [(0.0, 0.0)] * 3, epsilon=0.1)
