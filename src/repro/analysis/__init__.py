@@ -1,4 +1,5 @@
-"""Analysis: capacity dimension (Appendix A) and error statistics."""
+"""Analysis: capacity dimension (Appendix A), error statistics, and
+the SQL analytics mirror (``repro analyze``)."""
 
 from .capacity_dimension import (
     CapacityDimensionEstimate,
@@ -6,6 +7,13 @@ from .capacity_dimension import (
     greedy_packing_number,
 )
 from .error_stats import ErrorStats, measure_errors, relative_error
+from .sqlmirror import (
+    CANNED_VIEWS,
+    mirror_service_stats,
+    mirror_store,
+    run_sql,
+    run_view,
+)
 
 __all__ = [
     "CapacityDimensionEstimate",
@@ -14,4 +22,9 @@ __all__ = [
     "ErrorStats",
     "measure_errors",
     "relative_error",
+    "CANNED_VIEWS",
+    "mirror_store",
+    "mirror_service_stats",
+    "run_view",
+    "run_sql",
 ]

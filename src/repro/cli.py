@@ -18,6 +18,8 @@ ingest
     Ingest a real DEM raster (.asc / .tif) into a servable oracle.
 workload
     Generate / replay seeded scenario workload files (JSONL).
+analyze
+    Mirror a packed store into a sqlite3 analytics database.
 bench
     Run one of the paper's experiments (fig8..fig14, table1..table3).
 
@@ -37,6 +39,10 @@ Examples
         --out tiled.store
     python -m repro serve alps=oracle.store --repl
     python -m repro serve alps=tiled.store --max-resident-tiles 2 --repl
+    python -m repro serve alps=oracle.store --max-resident-bytes 262144 \
+        --repl
+    python -m repro analyze oracle.store --db oracle.db \
+        --view pair_count_by_layer
     python -m repro ingest dem.asc --poi-file pois.csv --out real.store
     python -m repro workload gen moving-agents --store real.store \
         --terrain alps --out agents.jsonl
@@ -127,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the oracle file is a v4 binary store: open "
                             "it zero-copy (mmap) and report the load "
                             "time alongside the answers")
+    query.add_argument("--max-resident-bytes", type=int, default=None,
+                       metavar="N",
+                       help="with --store: serve through the paged "
+                            "backend with the pair/hash page pool "
+                            "capped at N bytes (bit-identical answers; "
+                            "prints the paging ledger)")
 
     pack = commands.add_parser(
         "pack", help="convert a JSON oracle to the v4 binary store")
@@ -146,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tiled stores: LRU bound on simultaneously "
                             "resident tile shards per terrain (default: "
                             "all tiles stay resident)")
+    serve.add_argument("--max-resident-bytes", type=int, default=None,
+                       metavar="N",
+                       help="monolithic stores: serve each static "
+                            "terrain through the paged backend with "
+                            "its pair/hash page pool capped at N bytes "
+                            "(bit-identical; ledger in stats)")
     serve.add_argument("--mutable", action="append", default=[],
                        metavar="NAME=MESH",
                        help="register NAME (also given as NAME=STORE) as "
@@ -243,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: median store distance)")
     gen.add_argument("--sentinels", type=int, default=3,
                      help="range-alerts: sentinel POI count")
+    gen.add_argument("--rate", type=float, default=None,
+                     help="stamp Poisson arrival_s timestamps at this "
+                          "mean events/second (open-loop replay)")
     replay = actions.add_parser(
         "replay", help="replay a workload file against a live server")
     replay.add_argument("workload", help="workload file from 'gen'")
@@ -250,6 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--port", type=int, required=True)
     replay.add_argument("--terrain", default=None,
                         help="override the file's terrain id")
+    replay.add_argument("--pace", action="store_true",
+                        help="honour the file's arrival_s timestamps "
+                             "(fixed-rate open-loop replay)")
+
+    analyze = commands.add_parser(
+        "analyze", help="mirror a packed store into a sqlite3 "
+                        "analytics database and run canned views")
+    analyze.add_argument("store", help="monolithic v4 .store file")
+    analyze.add_argument("--db", required=True,
+                         help="sqlite3 output path (replaced)")
+    analyze.add_argument("--view", action="append", default=[],
+                         metavar="NAME",
+                         help="print a canned view after mirroring "
+                              "(error_stats, pair_count_by_layer, "
+                              "poi_coverage; repeatable)")
+    analyze.add_argument("--sql", default=None, metavar="QUERY",
+                         help="run one ad-hoc read-only SQL statement "
+                              "against the mirror and print its rows")
+    analyze.add_argument("--chunk-rows", type=int, default=8192,
+                         help="streaming chunk size (rows) — bounds "
+                              "the mirror's resident memory")
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -369,14 +411,24 @@ def _check_poi_ids(index, ids) -> bool:
 
 def _cmd_query(args) -> int:
     from .core import load_oracle, open_oracle
+    if args.max_resident_bytes is not None and not args.store:
+        print("error: --max-resident-bytes requires --store (paging "
+              "works on v4 binary stores)", file=sys.stderr)
+        return 2
     engine = _workload(args.mesh, args.pois, args.poi_seed, args.density)
     if args.store:
-        stored = open_oracle(args.oracle, engine=engine)
+        stored = open_oracle(args.oracle, engine=engine,
+                             max_resident_bytes=args.max_resident_bytes)
+        backing = ("paged" if args.max_resident_bytes is not None
+                   else "mmap")
         print(f"opened {args.oracle} in "
               f"{stored.load_seconds * 1e3:.2f} ms "
-              f"(mmap, n={stored.num_pois} pairs={stored.num_pairs})")
+              f"({backing}, n={stored.num_pois} "
+              f"pairs={stored.num_pairs})")
         if args.batch is not None:
-            return _run_query_batch(args, stored)
+            code = _run_query_batch(args, stored)
+            _print_page_ledger(stored)
+            return code
         if args.source is None or args.target is None:
             print("error: source and target are required without --batch",
                   file=sys.stderr)
@@ -392,6 +444,7 @@ def _cmd_query(args) -> int:
             exact = engine.distance(args.source, args.target)
             error = abs(distance - exact) / exact if exact else 0.0
             print(f"exact = {exact:.3f}  error = {error:.4f}")
+        _print_page_ledger(stored)
         return 0
     oracle = load_oracle(args.oracle, engine)
     if args.batch is not None:
@@ -412,6 +465,18 @@ def _cmd_query(args) -> int:
         error = abs(distance - exact) / exact if exact else 0.0
         print(f"exact = {exact:.3f}  error = {error:.4f}")
     return 0
+
+
+def _print_page_ledger(stored) -> None:
+    """One summary line of the paged backend's ledger, if there is one."""
+    if not hasattr(stored, "page_counters"):
+        return
+    ledger = stored.page_counters()
+    print(f"paging: {ledger['loads']} loads / {ledger['evictions']} "
+          f"evictions / {ledger['hits']} hits, peak "
+          f"{ledger['peak_resident_bytes']} B of "
+          f"{ledger['budget_bytes']} B budget "
+          f"(+{ledger['fixed_bytes']} B fixed)")
 
 
 def _run_query_batch(args, oracle) -> int:
@@ -492,6 +557,12 @@ def _cmd_pack(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .serving import OracleService, TerrainSpec
+    if (args.max_resident_bytes is not None
+            and args.max_resident_tiles is not None):
+        print("error: --max-resident-tiles pages tiled stores and "
+              "--max-resident-bytes pages monolithic ones; pick one",
+              file=sys.stderr)
+        return 2
     service = OracleService(max_resident=args.max_resident)
     import zipfile
     mutable_meshes = {}
@@ -521,7 +592,8 @@ def _cmd_serve(args) -> int:
             else:
                 meta = service.register(name, TerrainSpec(
                     path,
-                    max_resident_tiles=args.max_resident_tiles))
+                    max_resident_tiles=args.max_resident_tiles,
+                    max_resident_bytes=args.max_resident_bytes))
         except (OSError, ValueError, zipfile.BadZipFile) as error:
             print(f"error: cannot register {name}: {error}",
                   file=sys.stderr)
@@ -556,7 +628,8 @@ def _cmd_serve(args) -> int:
             host=args.host, port=args.port, workers=args.workers,
             max_batch=args.max_batch, linger_us=args.linger_us,
             max_resident=args.max_resident,
-            max_resident_tiles=args.max_resident_tiles)
+            max_resident_tiles=args.max_resident_tiles,
+            max_resident_bytes=args.max_resident_bytes)
         # Single-worker mode reuses the service registered above
         # instead of rebuilding mutable workloads a second time.
         return run_workers(
@@ -800,7 +873,7 @@ def _cmd_workload_gen(args) -> int:
             args.scenario, args.terrain, num_pois, args.events,
             seed=args.seed, agents=args.agents, k=args.k,
             radius=1000.0 if radius is None else radius,
-            sentinels=args.sentinels)
+            sentinels=args.sentinels, rate=args.rate)
     except WorkloadError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -824,8 +897,13 @@ def _cmd_workload_replay(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     terrain = args.terrain or loaded.terrain
+    if args.pace and not any(
+            event.get("arrival_s") is not None for event in loaded.events):
+        print("error: --pace needs arrival_s timestamps; regenerate "
+              "the workload with --rate", file=sys.stderr)
+        return 2
     report = replay_workload(args.host, args.port, terrain,
-                             loaded.events)
+                             loaded.events, pace=args.pace)
     print(f"replayed {report.requests} events "
           f"({loaded.scenario}, seed {loaded.seed}) against "
           f"{terrain!r} in {report.elapsed_s:.2f}s "
@@ -834,6 +912,39 @@ def _cmd_workload_replay(args) -> int:
         print(f"  {op}: p50={stats['p50']:.3f} ms "
               f"p95={stats['p95']:.3f} ms p99={stats['p99']:.3f} ms")
     return 1 if report.errors else 0
+
+
+def _cmd_analyze(args) -> int:
+    import sqlite3
+
+    from .analysis import mirror_store, run_sql, run_view
+    try:
+        report = mirror_store(args.store, args.db,
+                              chunk_rows=args.chunk_rows)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    counts = ", ".join(f"{name}={count}" for name, count
+                       in report["tables"].items())
+    print(f"mirrored {args.store} -> {report['db_path']} ({counts})")
+    print(f"views: {', '.join(report['views'])}")
+    try:
+        for view in args.view:
+            columns, rows = run_view(args.db, view)
+            print(f"-- {view} ({len(rows)} rows)")
+            print("  " + " | ".join(columns))
+            for row in rows:
+                print("  " + " | ".join(str(value) for value in row))
+        if args.sql:
+            columns, rows = run_sql(args.db, args.sql)
+            print(f"-- sql ({len(rows)} rows)")
+            print("  " + " | ".join(columns))
+            for row in rows:
+                print("  " + " | ".join(str(value) for value in row))
+    except (sqlite3.Error, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -866,6 +977,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
     "workload": _cmd_workload,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
 }
 

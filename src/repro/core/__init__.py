@@ -24,6 +24,7 @@ from .index import (
     pair_arrays,
 )
 from .oracle import BuildStats, SEOracle
+from .paged import PagedOracle
 from .parallel import (
     BuildExecutor,
     MultiprocessExecutor,
@@ -43,6 +44,7 @@ from .store import (
     oracle_sections,
     pack_document,
     pack_oracle,
+    section_layouts,
 )
 from .tiled import (
     TiledBuild,
@@ -73,7 +75,9 @@ __all__ = [
     "pack_document",
     "open_oracle",
     "oracle_sections",
+    "section_layouts",
     "StoredOracle",
+    "PagedOracle",
     "TiledBuild",
     "TiledOracle",
     "build_tiled_oracle",

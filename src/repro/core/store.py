@@ -62,6 +62,7 @@ import io
 import json
 import os
 import time
+import warnings
 import zipfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple, Union
@@ -76,7 +77,8 @@ from .node_pairs import NodePairSet
 from .oracle import SEOracle
 
 __all__ = ["pack_oracle", "pack_document", "open_oracle", "StoredOracle",
-           "STORE_VERSION", "file_signature", "oracle_sections"]
+           "STORE_VERSION", "file_signature", "oracle_sections",
+           "section_layouts"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -299,14 +301,15 @@ def pack_document(document: Dict[str, Any], path: PathLike) -> None:
 # ----------------------------------------------------------------------
 # reading
 # ----------------------------------------------------------------------
-def _mmap_member(path: PathLike, handle,
-                 info: zipfile.ZipInfo) -> np.ndarray:
-    """Memory-map one ZIP_STORED npy member in place.
+def _member_layout(handle, info: zipfile.ZipInfo
+                   ) -> Tuple[int, np.dtype, Tuple[int, ...], bool]:
+    """Payload layout ``(offset, dtype, shape, fortran)`` of one
+    ZIP_STORED npy member.
 
     A ZIP_STORED member's bytes sit verbatim at a fixed offset: skip
     the local file header (30 bytes + name + extra, read from the
     header itself — the central directory copy can differ), parse the
-    npy header, and map the payload.
+    npy header, and report where the raw array bytes start.
     """
     handle.seek(info.header_offset)
     local = handle.read(30)
@@ -320,8 +323,47 @@ def _mmap_member(path: PathLike, handle,
         shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
     else:  # pragma: no cover - we only ever write 1.0/2.0 headers
         raise ValueError(f"unsupported npy header version {version}")
-    return np.memmap(path, dtype=dtype, mode="r", offset=handle.tell(),
+    return handle.tell(), dtype, shape, fortran
+
+
+def _mmap_member(path: PathLike, handle,
+                 info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one ZIP_STORED npy member in place."""
+    offset, dtype, shape, fortran = _member_layout(handle, info)
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset,
                      shape=shape, order="F" if fortran else "C")
+
+
+def section_layouts(path: PathLike
+                    ) -> Tuple[Dict[str, Any],
+                               Dict[str, Tuple[int, np.dtype,
+                                               Tuple[int, ...]]]]:
+    """``(meta, layouts)`` where ``layouts`` maps each section name to
+    the absolute file ``(offset, dtype, shape)`` of its raw array
+    bytes — what the paged backend reads pages from, in place of a
+    whole-section mmap.  Only ZIP_STORED members have an in-place
+    layout; a compressed member raises (the paged backend cannot seek
+    into a deflate stream).
+    """
+    layouts: Dict[str, Tuple[int, np.dtype, Tuple[int, ...]]] = {}
+    with open(path, "rb") as handle:
+        with zipfile.ZipFile(handle) as archive:
+            meta = _read_meta_member(archive, path)
+            for info in archive.infolist():
+                if not info.filename.endswith(".npy"):
+                    continue
+                name = info.filename[:-4]
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(
+                        f"{path}: section {name} is compressed; "
+                        "paged access needs ZIP_STORED members")
+                offset, dtype, shape, fortran = _member_layout(
+                    handle, info)
+                if fortran:  # pragma: no cover - we only write C order
+                    raise ValueError(
+                        f"{path}: section {name} is Fortran-ordered")
+                layouts[name] = (offset, dtype, shape)
+    return meta, layouts
 
 
 def _read_meta_member(archive: zipfile.ZipFile,
@@ -343,8 +385,17 @@ def _read_meta_member(archive: zipfile.ZipFile,
 
 def read_store(path: PathLike, mmap: bool = True
                ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
-    """Raw access: the meta document plus every section array."""
+    """Raw access: the meta document plus every section array.
+
+    The returned meta gains a ``sections`` entry recording, per
+    section, whether it was handed out as a zero-copy mmap
+    (``{"zero_copy": bool}``).  A compressed (non-ZIP_STORED) member
+    cannot be mapped in place; when ``mmap`` was requested and one is
+    found the eager fallback is no longer silent — one
+    ``RuntimeWarning`` names the affected sections.
+    """
     sections: Dict[str, np.ndarray] = {}
+    section_meta: Dict[str, Dict[str, bool]] = {}
     with open(path, "rb") as handle:
         with zipfile.ZipFile(handle) as archive:
             meta = _read_meta_member(archive, path)
@@ -354,10 +405,22 @@ def read_store(path: PathLike, mmap: bool = True
                 name = info.filename[:-4]
                 if mmap and info.compress_type == zipfile.ZIP_STORED:
                     sections[name] = _mmap_member(path, handle, info)
+                    section_meta[name] = {"zero_copy": True}
                 else:
                     with archive.open(info.filename) as member:
                         sections[name] = np.lib.format.read_array(
                             member, allow_pickle=False)
+                    section_meta[name] = {"zero_copy": False}
+    meta["sections"] = section_meta
+    if mmap:
+        eager = sorted(name for name, info in section_meta.items()
+                       if not info["zero_copy"])
+        if eager:
+            warnings.warn(
+                f"{path}: sections {eager} are compressed and were "
+                "loaded eagerly (no zero-copy mmap); repack with "
+                "pack_oracle for in-place serving",
+                RuntimeWarning, stacklevel=2)
     if "tiles" not in meta:  # tiled stores keep sections per tile
         missing = [name for name in _REQUIRED_SECTIONS
                    if name not in sections]
@@ -571,13 +634,17 @@ class StoredOracle:
 
 def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
                 strict: bool = True, mmap: bool = True,
-                max_resident_tiles: Optional[int] = None):
+                max_resident_tiles: Optional[int] = None,
+                max_resident_bytes: Optional[int] = None):
     """Open a v4 store with memory-mapped query tables.
 
     Returns a :class:`StoredOracle` — or, when the store's meta
     carries a tile directory (``python -m repro build --tiles``), a
     :class:`~repro.core.tiled.TiledOracle` whose tile tables page
-    lazily.  Both serve the ``DistanceIndex`` protocol.
+    lazily; or, with ``max_resident_bytes``, a
+    :class:`~repro.core.paged.PagedOracle` that pages the pair/hash
+    columns through a bounded pool.  All serve the ``DistanceIndex``
+    protocol.
 
     Parameters
     ----------
@@ -598,16 +665,32 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
     max_resident_tiles:
         Tiled stores only: bound on concurrently resident tile tables
         (``None``: unbounded).  Ignored for monolithic stores.
+    max_resident_bytes:
+        Monolithic stores only: serve the O(#pairs) pair/hash columns
+        through a fixed-size page pool of at most this many bytes
+        instead of whole-section mmaps (``None``: unbounded mmaps).
+        Queries are bit-identical at any bound.  Tiled stores page at
+        tile granularity — combining both is an error.
     """
     started = time.perf_counter()
     signature = file_signature(path)
     if "tiles" in read_store_meta(path):
+        if max_resident_bytes is not None:
+            raise ValueError(
+                f"{path}: tiled stores page at tile granularity; use "
+                "max_resident_tiles instead of max_resident_bytes")
         from .tiled import open_tiled_oracle
         stored = open_tiled_oracle(
             path, mmap=mmap, max_resident_tiles=max_resident_tiles)
         if engine is not None and strict:
             stored.check_fingerprint(engine)
         return stored
+    if max_resident_bytes is not None:
+        from .paged import PagedOracle
+        paged = PagedOracle(path, max_resident_bytes=max_resident_bytes)
+        if engine is not None and strict:
+            paged.check_fingerprint(engine)
+        return paged
     meta, sections = read_store(path, mmap=mmap)
     pair_hash = PerfectHashMap.from_frozen(
         sections["pair_keys"], sections["pair_distances"],
@@ -617,6 +700,12 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
     )
     compiled = CompiledOracle(sections["chains"], pair_hash,
                               meta["epsilon"])
+    # Surface the zero-copy ledger: sections that could not be mapped
+    # in place (compressed members) are a serving-performance smell.
+    stats = dict(meta.get("stats", {}))
+    stats["non_zero_copy_sections"] = sorted(
+        name for name, info in meta.get("sections", {}).items()
+        if not info.get("zero_copy", True))
     stored = StoredOracle(
         path=os.fspath(path),
         epsilon=meta["epsilon"],
@@ -625,7 +714,7 @@ def open_oracle(path: PathLike, engine: Optional[GeodesicEngine] = None,
         seed=meta["seed"],
         fingerprint=meta["fingerprint"],
         build=meta.get("build", {}),
-        stats=meta.get("stats", {}),
+        stats=stats,
         tree_meta=meta["tree"],
         compiled=compiled,
         load_seconds=0.0,

@@ -276,6 +276,7 @@ def replay_workload(
     terrain: str,
     events: Sequence[Dict[str, Any]],
     timeout: float = 60.0,
+    pace: bool = False,
 ) -> ReplayReport:
     """Replay workload events sequentially over one connection.
 
@@ -284,6 +285,12 @@ def replay_workload(
     state, workload file) — replaying twice must produce identical
     bytes.  Typed error replies are counted, not raised: a scenario
     file probing error paths is still a valid workload.
+
+    With ``pace=True``, events carrying the version-2 ``arrival_s``
+    field are held until their Poisson arrival time (open-loop offered
+    load on a single connection); events without the field send
+    immediately.  Pacing changes *when* requests leave, never their
+    order or content, so the byte-identity property is unaffected.
     """
     latencies: List[float] = []
     by_op: Dict[str, List[float]] = {}
@@ -295,13 +302,19 @@ def replay_workload(
         began = time.perf_counter()
         for index, event in enumerate(events):
             fields = {
-                key: value for key, value in event.items() if key != "op"
+                key: value
+                for key, value in event.items()
+                if key not in ("op", "arrival_s")
             }
             line = protocol.encode(
                 protocol.request(
                     event["op"], request_id=index, terrain=terrain, **fields
                 )
             )
+            if pace and event.get("arrival_s") is not None:
+                wait = began + event["arrival_s"] - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
             tick = time.perf_counter()
             stream.write(line)
             stream.flush()

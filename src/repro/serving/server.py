@@ -100,6 +100,7 @@ class ServerConfig:
     linger_us: float = 0.0
     max_resident: int = 4
     max_resident_tiles: Optional[int] = None
+    max_resident_bytes: Optional[int] = None
 
 
 def _mutable_engine(spec: MutableSpec):
@@ -126,6 +127,7 @@ def build_service(config: ServerConfig, worker_id: int = 0) -> OracleService:
             service.register(name, TerrainSpec(
                 path,
                 max_resident_tiles=config.max_resident_tiles,
+                max_resident_bytes=config.max_resident_bytes,
             ))
         elif worker_id == 0:
             service.register(name, TerrainSpec(

@@ -120,6 +120,13 @@ class TerrainSpec:
     max_resident_tiles:
         Tiled stores: bound on concurrently resident tile tables
         (``None``: all tiles may stay resident).
+    max_resident_bytes:
+        Monolithic stores: serve through a
+        :class:`~repro.core.paged.PagedOracle` whose pair/hash-column
+        page pool is capped at this many bytes (``None``: unbounded
+        whole-section mmaps).  Queries are bit-identical at any
+        bound; the paging ledger surfaces in :meth:`OracleService.
+        stats` / :meth:`OracleService.describe`.
     """
 
     path: str
@@ -130,6 +137,7 @@ class TerrainSpec:
     rebuild_factor: float = 0.25
     jobs: int = 1
     max_resident_tiles: Optional[int] = None
+    max_resident_bytes: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "path", os.fspath(self.path))
@@ -141,6 +149,16 @@ class TerrainSpec:
             raise ValueError(
                 "mutable terrains are the writer side; "
                 "track_generation is for reader registrations")
+        if self.mutable and self.max_resident_bytes is not None:
+            raise ValueError(
+                "mutable terrains serve through an in-memory overlay; "
+                "max_resident_bytes applies to static registrations")
+        if (self.max_resident_bytes is not None
+                and self.max_resident_tiles is not None):
+            raise ValueError(
+                "max_resident_tiles pages tiled stores, "
+                "max_resident_bytes pages monolithic ones — a store "
+                "is one or the other")
 
 
 @dataclass
@@ -202,6 +220,8 @@ class _Registration:
     pin: bool = False
     #: tiled stores: residency bound passed through to the tile LRU
     max_resident_tiles: Optional[int] = None
+    #: monolithic stores: page-pool byte budget for the paged backend
+    max_resident_bytes: Optional[int] = None
 
     @property
     def mutable(self) -> bool:
@@ -322,6 +342,10 @@ class OracleService:
         if spec.mutable:
             return self._register_mutable(terrain_id, spec)
         meta = read_store_meta(spec.path)
+        if spec.max_resident_bytes is not None and "tiles" in meta:
+            raise ValueError(
+                f"{spec.path}: tiled stores page at tile granularity; "
+                "use max_resident_tiles instead of max_resident_bytes")
         previous = self._registry.get(terrain_id)
         if terrain_id in self._resident:
             del self._resident[terrain_id]
@@ -332,7 +356,8 @@ class OracleService:
         registration = _Registration(
             path=spec.path, meta=meta,
             track_generation=spec.track_generation, pin=spec.pin,
-            max_resident_tiles=spec.max_resident_tiles)
+            max_resident_tiles=spec.max_resident_tiles,
+            max_resident_bytes=spec.max_resident_bytes)
         if previous is not None:
             registration.counters = previous.counters
         self._registry[terrain_id] = registration
@@ -428,6 +453,8 @@ class OracleService:
             stored = self._resident.get(terrain_id)
             if stored is not None and hasattr(stored, "tile_counters"):
                 meta["tile_paging"] = stored.tile_counters()
+            if stored is not None and hasattr(stored, "page_counters"):
+                meta["paging"] = stored.page_counters()
         return meta
 
     def _registration(self, terrain_id: str) -> _Registration:
@@ -470,7 +497,8 @@ class OracleService:
             return stored
         stored = open_oracle(
             registration.path,
-            max_resident_tiles=registration.max_resident_tiles)
+            max_resident_tiles=registration.max_resident_tiles,
+            max_resident_bytes=registration.max_resident_bytes)
         registration.counters.loads += 1
         registration.counters.load_seconds += stored.load_seconds
         while len(self._resident) >= self.max_resident:
@@ -788,5 +816,9 @@ class OracleService:
                         # Tiled terrain: the tile-granular ledger the
                         # oracle's internal LRU keeps.
                         entry["tiles"] = stored.tile_counters()
+                    if hasattr(stored, "page_counters"):
+                        # Paged terrain: the page-pool ledger
+                        # (loads/evictions/hits, resident/peak bytes).
+                        entry["paging"] = stored.page_counters()
             report[terrain_id] = entry
         return report

@@ -30,6 +30,15 @@ which the header pins once).  Replays are sequential on one
 connection, so a workload file replayed twice against the same server
 yields byte-identical response streams — that equivalence is gated in
 CI by ``benchmarks/bench_serve.py --scenario-store``.
+
+Version 2 adds an optional **open-loop arrival-time field**: generated
+with ``rate=R`` (mean events/second), each event carries
+``"arrival_s"`` — a cumulative Poisson-process timestamp drawn from a
+*separate* seeded stream, so the event sequence itself is bit-for-bit
+what the same seed generated under version 1.
+:func:`~repro.serving.loadgen.replay_workload` uses the field (with
+``pace=True``) to drive fixed-rate open-loop replay; readers accept
+both versions and unpaced files simply omit the field.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence
 __all__ = [
     "WORKLOAD_FORMAT",
     "WORKLOAD_VERSION",
+    "SUPPORTED_VERSIONS",
     "SCENARIOS",
     "WorkloadError",
     "Workload",
@@ -54,8 +64,15 @@ __all__ = [
 ]
 
 WORKLOAD_FORMAT = "repro-workload"
-WORKLOAD_VERSION = 1
+WORKLOAD_VERSION = 2
+#: versions this reader still speaks (1 = no arrival times)
+SUPPORTED_VERSIONS = (1, 2)
 SCENARIOS = ("moving-agents", "range-alerts", "coverage-audit")
+
+#: seed offset for the arrival-time RNG stream.  Arrival timestamps
+#: draw from their own ``random.Random`` so adding (or changing) a
+#: rate never perturbs the event draws the same seed produced before.
+_ARRIVAL_STREAM = 0x9E3779B1
 
 #: ops an event line may carry, with their required fields
 _EVENT_FIELDS = {
@@ -176,12 +193,20 @@ def generate_workload(
     radius: float = 1000.0,
     sentinels: int = 3,
     respawn: float = 0.05,
+    rate: Optional[float] = None,
 ) -> Workload:
-    """Generate a seeded scenario workload (byte-reproducible)."""
+    """Generate a seeded scenario workload (byte-reproducible).
+
+    ``rate`` (mean events/second), when given, stamps each event with
+    an open-loop Poisson ``arrival_s`` timestamp from a dedicated RNG
+    stream; the event draws themselves are unchanged.
+    """
     if num_pois < 2:
         raise WorkloadError(f"need at least 2 POIs, got {num_pois}")
     if events < 1:
         raise WorkloadError(f"need at least 1 event, got {events}")
+    if rate is not None and rate <= 0:
+        raise WorkloadError(f"rate must be positive, got {rate}")
     rng = random.Random(seed)
     if scenario == "moving-agents":
         params: Dict[str, Any] = {"agents": agents, "k": k, "respawn": respawn}
@@ -196,6 +221,13 @@ def generate_workload(
         raise WorkloadError(
             f"unknown scenario {scenario!r}; choose from {', '.join(SCENARIOS)}"
         )
+    if rate is not None:
+        params["rate"] = rate
+        arrivals = random.Random(seed ^ _ARRIVAL_STREAM)
+        clock = 0.0
+        for event in generated:
+            clock += arrivals.expovariate(rate)
+            event["arrival_s"] = round(clock, 6)
     return Workload(
         scenario=scenario,
         terrain=terrain,
@@ -233,6 +265,14 @@ def _validate_event(event: Dict[str, Any], line_no: int) -> Dict[str, Any]:
             raise WorkloadError(
                 f"line {line_no}: op {op!r} is missing field {required!r}"
             )
+    arrival = event.get("arrival_s")
+    if arrival is not None and (
+        not isinstance(arrival, (int, float)) or arrival < 0
+    ):
+        raise WorkloadError(
+            f"line {line_no}: arrival_s must be a non-negative number, "
+            f"got {arrival!r}"
+        )
     return event
 
 
@@ -250,10 +290,10 @@ def loads_workload(text: str) -> Workload:
             f"line 1: not a {WORKLOAD_FORMAT} header (missing format marker)"
         )
     version = header.get("version")
-    if version != WORKLOAD_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise WorkloadError(
-            f"unsupported workload version {version!r} "
-            f"(this reader speaks version {WORKLOAD_VERSION})"
+            f"unsupported workload version {version!r} (this reader "
+            f"speaks versions {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
     for key in ("scenario", "terrain", "seed", "num_pois", "events"):
         if key not in header:
@@ -291,6 +331,7 @@ def check_events(
     """Pre-flight id bounds check before replaying against a server."""
     if num_pois is None:
         return
+    last_arrival = 0.0
     for index, event in enumerate(events):
         for key in ("source", "target"):
             value = event.get(key)
@@ -299,3 +340,11 @@ def check_events(
                     f"event {index}: {key}={value} outside the terrain's "
                     f"0..{num_pois - 1} POI range"
                 )
+        arrival = event.get("arrival_s")
+        if arrival is not None:
+            if arrival < last_arrival:
+                raise WorkloadError(
+                    f"event {index}: arrival_s={arrival} runs backwards "
+                    f"(previous event arrived at {last_arrival})"
+                )
+            last_arrival = arrival

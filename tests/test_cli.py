@@ -536,3 +536,93 @@ class TestWorkloadVerb:
                      "--port", "1"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+    def test_gen_rate_stamps_paced_arrivals(self, tmp_path, capsys):
+        out = tmp_path / "paced.jsonl"
+        code = main(["workload", "gen", "moving-agents", "--num-pois",
+                     "8", "--events", "20", "--seed", "3",
+                     "--rate", "500", "--out", str(out)])
+        assert code == 0
+        from repro.serving.workloads import read_workload
+        loaded = read_workload(out)
+        arrivals = [event["arrival_s"] for event in loaded.events]
+        assert arrivals == sorted(arrivals)
+        assert loaded.params["rate"] == 500.0
+
+    def test_pace_without_arrivals_is_refused(self, tmp_path, capsys):
+        out = tmp_path / "unpaced.jsonl"
+        assert main(["workload", "gen", "moving-agents", "--num-pois",
+                     "8", "--events", "5", "--out", str(out)]) == 0
+        code = main(["workload", "replay", str(out), "--port", "1",
+                     "--pace"])
+        assert code == 2
+        assert "--rate" in capsys.readouterr().err
+
+
+class TestAnalyzeVerb:
+    DATA = pathlib.Path(__file__).parent / "data"
+
+    def test_mirror_fixture_and_run_views(self, tmp_path, capsys):
+        """Mirror the v4 fixture into SQLite; the canned views' row
+        counts must agree with the in-memory oracle's tables."""
+        store = self.DATA / "oracle_v4.store"
+        db = tmp_path / "oracle.db"
+        code = main(["analyze", str(store), "--db", str(db),
+                     "--view", "pair_count_by_layer",
+                     "--view", "poi_coverage",
+                     "--sql", "SELECT COUNT(*) FROM pairs"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mirrored" in output
+        assert "pair_count_by_layer" in output
+
+        from repro.analysis import run_sql, run_view
+        from repro.core import open_oracle
+        stored = open_oracle(store)
+        _, pair_rows = run_sql(db, "SELECT COUNT(*) FROM pairs")
+        assert pair_rows[0][0] == stored.num_pairs
+        _, layer_rows = run_view(db, "pair_count_by_layer")
+        assert sum(row[1] for row in layer_rows) == stored.num_pairs
+        _, coverage = run_view(db, "poi_coverage")
+        assert len(coverage) == stored.num_pois
+        _, zero_self = run_sql(
+            db, "SELECT nonzero_self_distances FROM error_stats")
+        assert zero_self[0][0] == 0
+
+    def test_analyze_missing_store(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.store"),
+                     "--db", str(tmp_path / "out.db")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_unknown_view(self, tmp_path, capsys):
+        store = self.DATA / "oracle_v4.store"
+        code = main(["analyze", str(store),
+                     "--db", str(tmp_path / "out.db"),
+                     "--view", "not_a_view"])
+        assert code == 2
+        assert "unknown view" in capsys.readouterr().err
+
+    def test_query_store_paged_prints_ledger(self, terrain_file,
+                                             tmp_path, capsys):
+        """`query --store --max-resident-bytes` serves through the
+        page pool and reports the paging ledger."""
+        store = tmp_path / "oracle.store"
+        assert main(["build", str(terrain_file), "--pois", "10",
+                     "--epsilon", "0.2", "--out", str(store)]) == 0
+        capsys.readouterr()
+        code = main(["query", str(terrain_file), str(store),
+                     "--pois", "10", "--store", "--batch",
+                     "--random", "50", "--max-resident-bytes", "4096"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(paged," in output
+        assert "paging:" in output
+        assert "B budget" in output
+
+    def test_max_resident_bytes_requires_store(self, terrain_file,
+                                               tmp_path, capsys):
+        code = main(["query", str(terrain_file), "whatever.store",
+                     "--max-resident-bytes", "4096", "0", "1"])
+        assert code == 2
+        assert "--store" in capsys.readouterr().err

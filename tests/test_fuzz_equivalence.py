@@ -152,6 +152,62 @@ class TestStoreRoundTripProperty:
                     == oracle.query(source, target)
 
 
+class TestPagedEquivalenceProperty:
+    """Page-pool equivalence over random draws (PR-10 tentpole).
+
+    Every seeded workload is packed and re-served through
+    :class:`~repro.core.paged.PagedOracle` at three pool bounds — a
+    single page, ~25% of the paged columns, everything resident — and
+    the full query grid (batch + matrix + sampled scalars) must be
+    **bit-identical** to the in-memory oracle at each bound.  Paging
+    changes where bytes come from, never which element a probe reads,
+    so there is no tolerance to hide behind.
+    """
+
+    def _pool_shapes(self, path):
+        from repro.core.paged import PAGED_SECTIONS
+        from repro.core.store import section_layouts
+        _, layouts = section_layouts(path)
+        pageable = sum(
+            int(np.prod(shape, dtype=np.intp)) * dtype.itemsize
+            for name, (offset, dtype, shape) in layouts.items()
+            if name in PAGED_SECTIONS)
+        quarter = max(8, pageable // 4 // 8 * 8)
+        return (
+            {"page_bytes": 64, "max_pages": 1},
+            {"page_bytes": quarter, "max_pages": 4},
+            {"page_bytes": 4096, "max_pages": 1 << 20},
+        )
+
+    def test_paged_bit_identical_at_every_pool_bound(self, drawn,
+                                                     tmp_path):
+        from repro.core.paged import PagedOracle
+        engine, oracle = drawn
+        path = tmp_path / "fuzz.store"
+        pack_oracle(oracle, path)
+        n = engine.num_pois
+        grid = np.arange(n, dtype=np.intp)
+        sources = np.repeat(grid, n)
+        targets = np.tile(grid, n)
+        expected_batch = oracle.query_batch(sources, targets)
+        expected_matrix = oracle.query_matrix()
+        for shape in self._pool_shapes(path):
+            paged = PagedOracle(str(path), **shape)
+            assert (paged.query_batch(sources, targets)
+                    == expected_batch).all(), shape
+            assert (paged.query_matrix() == expected_matrix).all(), \
+                shape
+            for source in range(0, n, 3):
+                assert paged.query(source, n - 1 - source) \
+                    == oracle.query(source, n - 1 - source)
+            ledger = paged.page_counters()
+            assert ledger["loads"] - ledger["evictions"] \
+                == ledger["resident_pages"]
+            assert ledger["peak_resident_bytes"] \
+                <= ledger["budget_bytes"]
+            paged.close()
+
+
 class TestDynamicUpdateFuzz:
     """Interleaved insert/delete/batch-query fuzzing (PR-5 tentpole).
 

@@ -151,6 +151,55 @@ class TestEvictionChurn:
         assert not failures
 
 
+class TestPagedPoolChurn:
+    def test_single_page_pool_under_thread_hammering(
+            self, static_stores):
+        """8 threads share one terrain served through a single-page
+        pool — the worst paging regime, where every gather group can
+        evict the previous one.  Every recorded answer must match a
+        serial replay bit for bit, and the page ledger must reconcile
+        after the stampede."""
+        from repro.serving import TerrainSpec
+        service = OracleService(max_resident=2)
+        service.register("a", TerrainSpec(
+            str(static_stores["a"]), max_resident_bytes=8))
+
+        service.query("a", 0, 1)  # lazy open: materialise the pool
+        ledger = service.stats()["a"]["paging"]
+        assert ledger["max_pages"] == 1
+        assert ledger["page_bytes"] == 8
+
+        pairs = sample_pairs(NUM_POIS, 60, seed=5)
+        records = []
+        lock = threading.Lock()
+        failures = []
+
+        def worker(slot):
+            try:
+                local = []
+                for s, t in pairs[slot % 3:]:
+                    local.append((s, t, service.query("a", s, t)))
+                with lock:
+                    records.extend(local)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        _run_threads([lambda slot=k: worker(slot) for k in range(8)])
+        assert not failures
+        assert records
+
+        for s, t, answer in records:
+            assert service.query("a", s, t) == answer
+
+        ledger = service.stats()["a"]["paging"]
+        assert ledger["loads"] >= 1
+        assert ledger["loads"] - ledger["evictions"] \
+            == ledger["resident_pages"]
+        assert ledger["peak_resident_bytes"] <= ledger["budget_bytes"]
+        assert service.describe("a")["paging"]["loads"] \
+            >= ledger["loads"]
+
+
 class TestMutableChurn:
     def test_readers_bit_identical_during_overlay_churn(
             self, mutable_service):

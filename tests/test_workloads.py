@@ -101,6 +101,72 @@ class TestGeneration:
                               radius=0.0)
 
 
+class TestPoissonArrivals:
+    """The version-2 open-loop arrival-time field (PR-10 satellite)."""
+
+    def test_rate_never_perturbs_event_draws(self):
+        plain = generate_workload(
+            "moving-agents", "alps", NUM_POIS, 80, seed=13)
+        paced = generate_workload(
+            "moving-agents", "alps", NUM_POIS, 80, seed=13, rate=250.0)
+        stripped = [{key: value for key, value in event.items()
+                     if key != "arrival_s"} for event in paced.events]
+        assert stripped == plain.events
+        assert paced.params["rate"] == 250.0
+
+    def test_arrivals_are_monotone_and_byte_stable(self):
+        one = generate_workload(
+            "coverage-audit", "alps", NUM_POIS, 60, seed=9, rate=100.0)
+        two = generate_workload(
+            "coverage-audit", "alps", NUM_POIS, 60, seed=9, rate=100.0)
+        assert dumps_workload(one).encode() == dumps_workload(two).encode()
+        arrivals = [event["arrival_s"] for event in one.events]
+        assert arrivals == sorted(arrivals)
+        assert all(value >= 0 for value in arrivals)
+        check_events(one.events, NUM_POIS)
+
+    def test_version_one_files_still_load(self):
+        plain = generate_workload(
+            "coverage-audit", "alps", NUM_POIS, 10, seed=4)
+        lines = dumps_workload(plain).splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 1
+        lines[0] = json.dumps(header, sort_keys=True,
+                              separators=(",", ":"))
+        loaded = loads_workload("\n".join(lines))
+        assert loaded.events == plain.events
+
+    def test_bad_rate_and_bad_arrivals_rejected(self):
+        with pytest.raises(WorkloadError, match="rate"):
+            generate_workload("coverage-audit", "alps", NUM_POIS, 10,
+                              rate=0.0)
+        with pytest.raises(WorkloadError, match="arrival_s"):
+            loads_workload(
+                '{"events":1,"format":"repro-workload","num_pois":5,'
+                '"params":{},"scenario":"coverage-audit","seed":0,'
+                '"terrain":"alps","version":2}\n'
+                '{"arrival_s":-1.0,"op":"rnn","source":1}\n')
+        with pytest.raises(WorkloadError, match="backwards"):
+            check_events(
+                [{"op": "rnn", "source": 1, "arrival_s": 2.0},
+                 {"op": "rnn", "source": 2, "arrival_s": 1.0}],
+                NUM_POIS)
+
+    def test_paced_replay_matches_unpaced_answers(self, served):
+        """Pacing changes when requests leave, never what they answer:
+        the paced reply stream is byte-identical to the unpaced one."""
+        _, server = served
+        workload = generate_workload(
+            "moving-agents", "alps", NUM_POIS, 40, seed=17,
+            rate=5000.0)
+        paced = replay_workload(server.host, server.port, "alps",
+                                workload.events, pace=True)
+        unpaced = replay_workload(server.host, server.port, "alps",
+                                  workload.events)
+        assert paced.errors == 0
+        assert paced.response_bytes == unpaced.response_bytes
+
+
 class TestSerialisation:
     def test_round_trip(self, tmp_path):
         workload = generate_workload(
